@@ -1,0 +1,1 @@
+bench/ablations.ml: Asim Bachc Cash Chls Design List Option Printf Schedule Tables Workloads

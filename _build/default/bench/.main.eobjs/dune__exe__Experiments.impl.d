@@ -1,0 +1,1 @@
+bench/experiments.ml: Area Bitwidth Chls Constrain Design Hardwarec Ifconv Ilp_limits List Loopopt Lower Option Pipeline Pointer Printf Simplify String Tables Typecheck Workloads

@@ -1,0 +1,29 @@
+(* Minimal fixed-width table rendering for the experiment harness. *)
+
+let hr width = print_endline (String.make width '-')
+
+let section id title claim =
+  print_newline ();
+  print_endline (String.make 78 '=');
+  Printf.printf "[%s] %s\n" id title;
+  print_endline (String.make 78 '=');
+  Printf.printf "Paper claim: %s\n\n" claim
+
+let row widths cells =
+  let padded =
+    List.map2
+      (fun w c ->
+        if String.length c >= w then c else c ^ String.make (w - String.length c) ' ')
+      widths cells
+  in
+  print_endline (String.concat "  " padded)
+
+let table widths header rows =
+  row widths header;
+  hr (List.fold_left ( + ) 0 widths + (2 * (List.length widths - 1)));
+  List.iter (row widths) rows
+
+let f1 x = Printf.sprintf "%.1f" x
+let f2 x = Printf.sprintf "%.2f" x
+let f0 x = Printf.sprintf "%.0f" x
+let i d = string_of_int d

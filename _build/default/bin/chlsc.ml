@@ -1,0 +1,225 @@
+(* chlsc: the CHLS compiler driver.
+
+     chlsc table1                          print the paper's Table 1
+     chlsc check FILE                      which dialects accept this program?
+     chlsc run FILE -e main -a 1,2         software oracle (reference interp)
+     chlsc compile FILE -b bachc -e main   synthesize; optional --run/--verilog
+
+   See README.md for the tour. *)
+
+open Cmdliner
+
+let read_file path =
+  In_channel.with_open_text path In_channel.input_all
+
+let parse_args_list s =
+  if String.trim s = "" then []
+  else List.map int_of_string (String.split_on_char ',' (String.trim s))
+
+(* --- common arguments --- *)
+
+let file_arg =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE"
+         ~doc:"C-like source file")
+
+let entry_arg =
+  Arg.(value & opt string "main" & info [ "e"; "entry" ] ~docv:"NAME"
+         ~doc:"Entry function (default: main)")
+
+let args_arg =
+  Arg.(value & opt (some string) None & info [ "a"; "args" ] ~docv:"N,N,..."
+         ~doc:"Comma-separated integer arguments")
+
+(* --- subcommands --- *)
+
+let table1_cmd =
+  let doc = "Print the paper's Table 1 (the language catalog)" in
+  Cmd.v (Cmd.info "table1" ~doc)
+    Term.(const (fun () -> print_string (Chls.render_table1 ())) $ const ())
+
+let check_cmd =
+  let doc = "Report which surveyed dialects accept the program" in
+  let run file =
+    let program = Chls.parse (read_file file) in
+    List.iter
+      (fun (d : Dialect.t) ->
+        match Dialect.check d program with
+        | [] -> Printf.printf "%-18s accepts\n" d.Dialect.name
+        | { Dialect.rule; where } :: _ ->
+          Printf.printf "%-18s rejects: %s (in %s)\n" d.Dialect.name rule
+            where)
+      Dialect.table1
+  in
+  Cmd.v (Cmd.info "check" ~doc) Term.(const run $ file_arg)
+
+let run_cmd =
+  let doc = "Execute with the software semantics (reference interpreter)" in
+  let run file entry args =
+    let source = read_file file in
+    let args = parse_args_list (Option.value args ~default:"") in
+    let result = Chls.reference source ~entry ~args in
+    Printf.printf "%s(%s) = %d\n" entry
+      (String.concat "," (List.map string_of_int args))
+      result
+  in
+  Cmd.v (Cmd.info "run" ~doc) Term.(const run $ file_arg $ entry_arg $ args_arg)
+
+let backend_arg =
+  let parse s =
+    match Chls.backend_of_name s with
+    | Some b -> Ok b
+    | None -> Error (`Msg (Printf.sprintf "unknown backend %S" s))
+  in
+  let print fmt b = Format.pp_print_string fmt (Chls.backend_name b) in
+  Arg.(value
+       & opt (conv (parse, print)) Chls.Bachc_backend
+       & info [ "b"; "backend" ] ~docv:"BACKEND"
+           ~doc:
+             "Synthesis scheme: cones | hardwarec | transmogrifier | systemc \
+              | c2verilog | cyber | handelc | specc | bachc | cash")
+
+let verilog_arg =
+  Arg.(value & opt (some string) None & info [ "verilog" ] ~docv:"OUT.v"
+         ~doc:"Write generated Verilog to this file")
+
+let area_flag =
+  Arg.(value & flag & info [ "area" ] ~doc:"Print the area/timing report")
+
+let compile_cmd =
+  let doc = "Synthesize the program with a surveyed scheme" in
+  let run file entry backend args verilog area =
+    let source = read_file file in
+    let program = Chls.parse source in
+    (match Dialect.check (Chls.dialect_of backend) program with
+    | [] -> ()
+    | { Dialect.rule; where } :: _ ->
+      Printf.eprintf "error: %s (in %s)\n" rule where;
+      exit 1);
+    let design = Chls.compile_program backend program ~entry in
+    Printf.printf "backend: %s\n" design.Design.backend;
+    List.iter
+      (fun (k, v) -> Printf.printf "%s: %s\n" k v)
+      design.Design.stats;
+    (match design.Design.clock_period with
+    | Some p -> Printf.printf "estimated clock period: %.1f\n" p
+    | None -> print_endline "no clock (combinational or asynchronous)");
+    (match args with
+    | None -> ()
+    | Some args ->
+      let args = parse_args_list args in
+      let r = design.Design.run (Design.int_args args) in
+      Printf.printf "%s(%s) = %s%s\n" entry
+        (String.concat "," (List.map string_of_int args))
+        (match r.Design.result with
+        | Some v -> string_of_int (Bitvec.to_int v)
+        | None -> "void")
+        (match (r.Design.cycles, r.Design.time_units) with
+        | Some c, _ -> Printf.sprintf " in %d cycles" c
+        | None, Some t -> Printf.sprintf " in %.0f time units" t
+        | None, None -> "");
+      (* always cross-check the oracle *)
+      let expected = Chls.reference source ~entry ~args in
+      let agrees = Option.map Bitvec.to_int r.Design.result = Some expected in
+      if not agrees then begin
+        Printf.eprintf "MISMATCH vs software semantics (expected %d)\n"
+          expected;
+        exit 2
+      end);
+    if area then begin
+      match design.Design.area () with
+      | Some a -> Format.printf "%a\n" Area.pp_report a
+      | None -> print_endline "no structural area view for this backend"
+    end;
+    match verilog with
+    | None -> ()
+    | Some path -> (
+      match design.Design.verilog () with
+      | Some v ->
+        Out_channel.with_open_text path (fun oc -> output_string oc v);
+        Printf.printf "wrote %s (%d bytes)\n" path (String.length v)
+      | None ->
+        Printf.eprintf "this backend has no Verilog view\n";
+        exit 1)
+  in
+  Cmd.v (Cmd.info "compile" ~doc)
+    Term.(const run $ file_arg $ entry_arg $ backend_arg $ args_arg
+          $ verilog_arg $ area_flag)
+
+let analyze_cmd =
+  let doc =
+    "Show the compiler's view: CIR, schedule, pipelining, ILP, bitwidths"
+  in
+  let run file entry =
+    let source = read_file file in
+    let program = Chls.parse source in
+    let lowered = Lower.lower_program program ~entry in
+    let func, _ = Simplify.simplify lowered.Lower.func in
+    print_endline "=== CIR (after inlining and CFG simplification) ===";
+    print_string (Cir.to_string func);
+    print_endline "\n=== per-block schedule (default allocation) ===";
+    Array.iter
+      (fun blk ->
+        let sched =
+          Schedule.list_schedule func Schedule.default_allocation
+            blk.Cir.instrs
+        in
+        if blk.Cir.instrs <> [] then
+          Printf.printf "B%d: %d instrs in %d steps (ops/step: %s)\n"
+            blk.Cir.b_id
+            (List.length blk.Cir.instrs)
+            sched.Schedule.num_steps
+            (String.concat ","
+               (Array.to_list
+                  (Array.map string_of_int (Schedule.ops_per_step sched)))))
+      func.Cir.fn_blocks;
+    print_endline "\n=== pipelining (innermost loop) ===";
+    (match Pipeline.modulo_schedule func with
+    | r ->
+      Printf.printf "II=%d (RecMII=%d, ResMII=%d), speedup %.2fx\n"
+        r.Pipeline.ii r.Pipeline.rec_mii r.Pipeline.res_mii r.Pipeline.speedup
+    | exception Pipeline.Irregular reason ->
+      Printf.printf "not pipelineable: %s\n" reason);
+    print_endline "\n=== bitwidth inference ===";
+    let r = Bitwidth.infer func in
+    let narrowed =
+      Array.to_list (Array.init func.Cir.fn_reg_count Fun.id)
+      |> List.filter (fun reg ->
+             r.Bitwidth.widths.(reg) < r.Bitwidth.declared.(reg))
+    in
+    Printf.printf "%d of %d registers narrowed; reg bits %d -> %d\n"
+      (List.length narrowed) func.Cir.fn_reg_count
+      (Bitwidth.register_bits func ~widths:r.Bitwidth.declared)
+      (Bitwidth.register_bits func ~widths:r.Bitwidth.widths);
+    print_endline "\n=== ILP (dynamic, window 64, perfect speculation) ===";
+    match func.Cir.fn_params with
+    | [] ->
+      let trace = Ilp_limits.trace_of func ~args:[] in
+      let m =
+        Ilp_limits.measure trace
+          { Ilp_limits.window = 64; renaming = true; speculation = `Perfect }
+      in
+      Printf.printf "%d dynamic instrs, IPC %.2f\n" m.Ilp_limits.instructions
+        m.Ilp_limits.ipc
+    | params ->
+      Printf.printf
+        "(needs concrete inputs: entry takes %d parameter(s); using ones)\n"
+        (List.length params);
+      let trace =
+        Ilp_limits.trace_of func ~args:(List.map (fun _ -> 1) params)
+      in
+      let m =
+        Ilp_limits.measure trace
+          { Ilp_limits.window = 64; renaming = true; speculation = `Perfect }
+      in
+      Printf.printf "%d dynamic instrs, IPC %.2f\n" m.Ilp_limits.instructions
+        m.Ilp_limits.ipc
+  in
+  Cmd.v (Cmd.info "analyze" ~doc) Term.(const run $ file_arg $ entry_arg)
+
+let () =
+  let doc = "C-like hardware synthesis: the DATE 2005 survey, executable" in
+  let info = Cmd.info "chlsc" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ table1_cmd; check_cmd; run_cmd; compile_cmd; analyze_cmd ]))

@@ -1,0 +1,1 @@
+examples/codesign.ml: Bitvec Chls Design Interp List Option Printf Specc String Typecheck Workloads

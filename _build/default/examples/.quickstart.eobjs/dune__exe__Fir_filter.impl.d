@@ -1,0 +1,1 @@
+examples/fir_filter.ml: Area Chls Design List Lower Out_channel Pipeline Printf Simplify String Workloads

@@ -1,0 +1,1 @@
+examples/ocapi_structural.ml: Area Bitvec Design Format List Netlist Ocapi Option Out_channel Printf String

@@ -1,0 +1,1 @@
+examples/ocapi_structural.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Bitvec Chls Design List Printf String

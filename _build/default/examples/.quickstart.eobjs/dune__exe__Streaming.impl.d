@@ -1,0 +1,1 @@
+examples/streaming.ml: Array Bitvec Chls Design Interp List Option Printf

@@ -1,0 +1,1 @@
+examples/timing_closure.ml: Bitvec Chls Design Hardwarec List Loopopt Option Printf Typecheck Workloads

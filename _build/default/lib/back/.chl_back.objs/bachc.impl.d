@@ -1,0 +1,1 @@
+lib/back/bachc.ml: Ast Cir Design Dialect Fsmd_common Handelc List Schedule

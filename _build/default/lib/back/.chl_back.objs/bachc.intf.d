@@ -1,0 +1,1 @@
+lib/back/bachc.mli: Ast Design Dialect Schedule

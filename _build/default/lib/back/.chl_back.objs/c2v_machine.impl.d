@@ -1,0 +1,1 @@
+lib/back/c2v_machine.ml: Area Array Ast Bitvec C2v_verilog C2verilog Ctypes Design Dialect Hashtbl Lazy List Neteval Pointer Printf

@@ -1,0 +1,1 @@
+lib/back/c2v_machine.mli: Ast Bitvec C2verilog Design

@@ -1,0 +1,1 @@
+lib/back/c2v_verilog.ml: Area Array Bitvec Buffer C2verilog Int64 List Netlist Printf Verilog

@@ -1,0 +1,1 @@
+lib/back/c2v_verilog.mli: C2verilog

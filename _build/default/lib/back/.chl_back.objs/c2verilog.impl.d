@@ -1,0 +1,1 @@
+lib/back/c2verilog.ml: Array Ast Bitvec Ctypes Hashtbl Int64 List Netlist Option Printf String

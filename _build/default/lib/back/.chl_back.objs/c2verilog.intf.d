@@ -1,0 +1,1 @@
+lib/back/c2verilog.mli: Ast Bitvec Ctypes Hashtbl Netlist

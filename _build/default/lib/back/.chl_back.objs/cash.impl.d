@@ -1,0 +1,1 @@
+lib/back/cash.ml: Area Asim Ast Design Dfg Dialect Lower Printf Ssa

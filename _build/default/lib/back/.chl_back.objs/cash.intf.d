@@ -1,0 +1,1 @@
+lib/back/cash.mli: Asim Ast Design Dialect

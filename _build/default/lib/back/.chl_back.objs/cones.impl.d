@@ -1,0 +1,1 @@
+lib/back/cones.ml: Area Array Ast Bitvec Ctypes Design Dialect Hashtbl List Loopform Neteval Netlist Printf String Verilog

@@ -1,0 +1,1 @@
+lib/back/cones.mli: Ast Design Netlist

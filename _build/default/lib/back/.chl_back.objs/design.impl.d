@@ -1,0 +1,1 @@
+lib/back/design.ml: Area Bitvec List Option

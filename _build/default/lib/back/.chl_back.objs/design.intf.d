@@ -1,0 +1,1 @@
+lib/back/design.mli: Area Bitvec

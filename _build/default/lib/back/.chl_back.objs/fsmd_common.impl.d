@@ -1,0 +1,1 @@
+lib/back/fsmd_common.ml: Area Array Ast Cir Design Dialect Float Fsmd Lazy Lower Printf Rtlgen Rtlsim Schedule Simplify Verilog

@@ -1,0 +1,1 @@
+lib/back/fsmd_common.mli: Ast Cir Design Dialect Fsmd Lower Schedule

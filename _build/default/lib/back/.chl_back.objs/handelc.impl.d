@@ -1,0 +1,1 @@
+lib/back/handelc.ml: Area Array Ast Bitvec Ctypes Design Dialect Float Fsmd Fun Hashtbl Interp Lazy List Loopopt Lower Option Printf Rtlgen Simplify String Verilog

@@ -1,0 +1,1 @@
+lib/back/handelc.mli: Ast Bitvec Design Dialect Interp

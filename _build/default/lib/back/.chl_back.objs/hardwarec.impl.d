@@ -1,0 +1,1 @@
+lib/back/hardwarec.ml: Area Array Ast Cir Constrain Design Dialect Float Fsmd Lazy List Lower Printf Rtlgen Rtlsim Schedule Verilog

@@ -1,0 +1,1 @@
+lib/back/hardwarec.mli: Ast Constrain Design Dialect Schedule

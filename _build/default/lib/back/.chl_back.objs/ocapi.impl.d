@@ -1,0 +1,1 @@
+lib/back/ocapi.ml: Area Array Bitvec Cir Design Float Fsmd Lazy List Netlist Option Rtlgen Rtlsim Verilog

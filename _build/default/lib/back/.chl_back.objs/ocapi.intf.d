@@ -1,0 +1,1 @@
+lib/back/ocapi.mli: Design Fsmd Netlist

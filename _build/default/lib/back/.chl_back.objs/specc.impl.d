@@ -1,0 +1,1 @@
+lib/back/specc.ml: Ast Bitvec Cir Design Dialect Fsmd_common Handelc Interp List Option Printf Schedule

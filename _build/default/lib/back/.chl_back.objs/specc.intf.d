@@ -1,0 +1,1 @@
+lib/back/specc.mli: Ast Design Dialect

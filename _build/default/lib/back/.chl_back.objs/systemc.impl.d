@@ -1,0 +1,1 @@
+lib/back/systemc.ml: Area Array Ast Bitvec Cir Design Dialect Float Fsmd List Lower Neteval Printf Schedule Simplify

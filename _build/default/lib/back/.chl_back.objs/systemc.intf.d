@@ -1,0 +1,1 @@
+lib/back/systemc.mli: Ast Bitvec Design Fsmd Schedule

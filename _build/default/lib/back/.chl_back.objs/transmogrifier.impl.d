@@ -1,0 +1,1 @@
+lib/back/transmogrifier.ml: Ast Design Dialect Fsmd Fsmd_common Loopopt

@@ -1,0 +1,1 @@
+lib/back/transmogrifier.mli: Ast Design Dialect

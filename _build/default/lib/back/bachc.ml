@@ -1,0 +1,49 @@
+(* Bach C backend [Kambe et al., ASP-DAC 2001] — also used for Cyber/BDL.
+
+   The paper: "Sharp's Bach C ... has untimed semantics: the compiler does
+   the scheduling; the number of cycles taken by each construct is not set
+   by a rule.  It supports arrays but not pointers."
+
+   Realization: resource-constrained list scheduling with operator
+   chaining over each basic block; the number of control steps per
+   construct falls out of the schedule, not a syntactic rule.  The
+   allocation (functional units, memory ports, chain budget) is the
+   designer-visible knob.
+
+   Bach C's explicit concurrency (par + rendezvous) uses the same
+   statement-machine machinery as Handel-C (see back/handelc.ml); this
+   module is the scheduled sequential core, which is where it contrasts
+   with the rule-based languages in experiment E3. *)
+
+let dialect = Dialect.bachc
+
+let compile ?(resources = Schedule.default_allocation)
+    (program : Ast.program) ~entry : Design.t =
+  let has_concurrency =
+    List.exists
+      (fun f ->
+        Ast.exists_stmt
+          (fun st ->
+            match st.Ast.s with
+            | Ast.Par _ | Ast.Chan_send _ -> true
+            | Ast.Expr _ | Ast.Decl _ | Ast.If _ | Ast.While _
+            | Ast.Do_while _ | Ast.For _ | Ast.Return _ | Ast.Break
+            | Ast.Continue | Ast.Block _ | Ast.Delay | Ast.Constrain _ ->
+              false)
+          f)
+      program.Ast.funcs
+  in
+  if has_concurrency then
+    (* The concurrent subset runs on the statement machine with scheduled
+       block timing; Handel_sim provides it. *)
+    Handelc.compile_with_policy ~backend_name:"bachc" ~dialect
+      ~policy:`Scheduled program ~entry
+  else
+    Fsmd_common.build ~backend_name:"bachc" ~dialect
+      ~schedule_block:(fun func blk ->
+        Schedule.list_schedule func resources blk.Cir.instrs)
+      program ~entry
+
+(** Cyber/BDL rides the same scheduler (restricted C with extensions; no
+    pointers or recursion), per its Table 1 row. *)
+let compile_cyber = compile ~resources:Schedule.default_allocation

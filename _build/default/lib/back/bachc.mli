@@ -1,0 +1,16 @@
+(** Bach C backend [Kambe et al. 2001] — also used for Cyber/BDL.
+
+    "Untimed semantics: the compiler does the scheduling" — resource-
+    constrained list scheduling with chaining; the cycle count of each
+    construct falls out of the schedule, not a syntactic rule.  Programs
+    using Bach C's explicit concurrency (par/rendezvous) run on the
+    statement machine with the scheduled packing policy. *)
+
+val dialect : Dialect.t
+
+val compile :
+  ?resources:Schedule.resources -> Ast.program -> entry:string -> Design.t
+
+val compile_cyber : Ast.program -> entry:string -> Design.t
+(** Cyber/BDL rides the same scheduler (restricted C, no pointers or
+    recursion), per its Table 1 row. *)

@@ -1,0 +1,52 @@
+(* CASH backend [Budiu & Goldstein, FPL 2002].
+
+   "Compiling application-specific hardware": ANSI C (our pointer-free
+   subset) -> SSA -> Pegasus-style asynchronous dataflow circuit, executed
+   by the timed token simulator.  No clock exists; performance is the
+   dynamic critical path, and the circuit exploits exactly the
+   instruction-level parallelism the dependences allow — the
+   compiler-finds-all-parallelism end of the paper's concurrency spectrum,
+   taken to its logical extreme. *)
+
+let dialect = Dialect.cash
+
+let compile ?(timing = Asim.default_timing) (program : Ast.program) ~entry :
+    Design.t =
+  (match Dialect.check dialect program with
+  | [] -> ()
+  | { Dialect.rule; where } :: _ ->
+    failwith (Printf.sprintf "cash: %s (in %s)" rule where));
+  let lowered = Lower.lower_program program ~entry in
+  let ssa = Ssa.of_func lowered.Lower.func in
+  let circuit = Dfg.of_ssa ssa in
+  let stats = Dfg.stats circuit in
+  let run args =
+    let outcome = Asim.run ~timing ssa ~args in
+    { Design.result = outcome.Asim.return_value;
+      globals = outcome.Asim.globals;
+      memories = outcome.Asim.memories;
+      cycles = None;
+      time_units = Some outcome.Asim.completion_time }
+  in
+  { Design.design_name = entry;
+    backend = "cash";
+    run;
+    area =
+      (fun () ->
+        Some
+          { Area.combinational_area = Dfg.area circuit;
+            register_area = 0.;
+            memory_bits = 0;
+            memory_area = 0.;
+            total_area = Dfg.area circuit;
+            critical_path = 0.;
+            num_nodes = stats.Dfg.total;
+            num_registers = 0 });
+    verilog = (fun () -> None);
+    clock_period = None;
+    stats =
+      [ ("dataflow nodes", string_of_int stats.Dfg.total);
+        ("operators", string_of_int stats.Dfg.operators);
+        ("merges (mu)", string_of_int stats.Dfg.merges);
+        ("steers (eta)", string_of_int stats.Dfg.steers);
+        ("memory ops", string_of_int stats.Dfg.memory_ops) ] }

@@ -1,0 +1,8 @@
+(** CASH backend [Budiu & Goldstein 2002]: C -> SSA -> Pegasus-style
+    asynchronous dataflow circuit, executed by the timed token simulator.
+    No clock; performance is the dynamic critical path. *)
+
+val dialect : Dialect.t
+
+val compile :
+  ?timing:Asim.timing -> Ast.program -> entry:string -> Design.t

@@ -1,0 +1,41 @@
+(* The common result type of every synthesis backend.
+
+   Backends produce wildly different artifacts — a pure combinational
+   netlist (Cones), a scheduled FSMD (Transmogrifier/Bach C/HardwareC), a
+   statement-clocked machine (Handel-C), an asynchronous dataflow circuit
+   (CASH), a stack-machine processor (C2Verilog) — so a design exposes a
+   uniform behavioural interface (run on inputs, observe outputs and
+   timing) plus optional structural views (area report, Verilog). *)
+
+type run_result = {
+  result : Bitvec.t option;
+  globals : (string * Bitvec.t) list;
+  memories : (string * Bitvec.t array) list;
+  cycles : int option; (* clocked designs *)
+  time_units : float option; (* asynchronous / combinational settle time *)
+}
+
+type t = {
+  design_name : string;
+  backend : string;
+  run : Bitvec.t list -> run_result;
+  area : unit -> Area.report option;
+  verilog : unit -> string option;
+  clock_period : float option; (* estimated; None for unclocked designs *)
+  stats : (string * string) list; (* backend-specific key/value facts *)
+}
+
+let int_args args = List.map (Bitvec.of_int ~width:64) args
+
+(** Run with plain integer arguments; returns the result as an int. *)
+let run_int design args =
+  let r = design.run (int_args args) in
+  Option.map Bitvec.to_int r.result
+
+(** Wall-clock estimate of a run: cycles x clock period for clocked
+    designs, the recorded settle/completion time otherwise. *)
+let latency_estimate design (r : run_result) =
+  match (r.cycles, design.clock_period, r.time_units) with
+  | Some cycles, Some period, _ -> Some (float_of_int cycles *. period)
+  | _, _, Some t -> Some t
+  | _ -> None

@@ -1,0 +1,34 @@
+(** The common result type of every synthesis backend.
+
+    Backends produce different artifacts (combinational netlists,
+    scheduled FSMDs, statement machines, asynchronous circuits, a stack
+    machine), so a design exposes a uniform behavioural interface — run on
+    inputs, observe outputs and timing — plus optional structural views. *)
+
+type run_result = {
+  result : Bitvec.t option;
+  globals : (string * Bitvec.t) list;  (** scalar globals after the run *)
+  memories : (string * Bitvec.t array) list;  (** array globals after *)
+  cycles : int option;  (** clocked designs *)
+  time_units : float option;  (** asynchronous / combinational settle *)
+}
+
+type t = {
+  design_name : string;
+  backend : string;
+  run : Bitvec.t list -> run_result;
+  area : unit -> Area.report option;
+  verilog : unit -> string option;
+  clock_period : float option;  (** estimated; [None] when unclocked *)
+  stats : (string * string) list;  (** backend-specific facts *)
+}
+
+val int_args : int list -> Bitvec.t list
+(** 64-bit argument vectors from plain integers. *)
+
+val run_int : t -> int list -> int option
+(** Run with integer arguments; the result as an int. *)
+
+val latency_estimate : t -> run_result -> float option
+(** Wall-clock estimate: cycles x clock period for clocked designs, the
+    recorded completion/settle time otherwise. *)

@@ -1,0 +1,48 @@
+(* Shared plumbing for the FSMD-producing backends (Transmogrifier C,
+   Bach C/Cyber, HardwareC): lower the program, build an FSMD under the
+   backend's scheduling policy, and wrap simulator + elaboration into a
+   Design.t. *)
+
+let build ~backend_name ~dialect ?(mem_forwarding = false)
+    ~(schedule_block : Cir.func -> Cir.block -> Schedule.schedule)
+    ?(extra_stats = fun (_ : Lower.result) (_ : Fsmd.t) -> [])
+    (program : Ast.program) ~entry : Design.t =
+  (match Dialect.check dialect program with
+  | [] -> ()
+  | { Dialect.rule; where } :: _ ->
+    failwith (Printf.sprintf "%s: %s (in %s)" backend_name rule where));
+  let lowered = Lower.lower_program program ~entry in
+  let func, _ = Simplify.simplify lowered.Lower.func in
+  let fsmd =
+    Fsmd.of_func ~mem_forwarding func ~schedule_block:(schedule_block func)
+  in
+  let run args =
+    let outcome = Rtlsim.run fsmd ~args in
+    { Design.result = outcome.Rtlsim.return_value;
+      globals = outcome.Rtlsim.globals;
+      memories = outcome.Rtlsim.memories;
+      cycles = Some outcome.Rtlsim.cycles;
+      time_units = None }
+  in
+  let elaborated = lazy (Rtlgen.elaborate fsmd) in
+  let area () =
+    match Lazy.force elaborated with
+    | e -> Some (Area.analyze e.Rtlgen.netlist)
+    | exception Rtlgen.Elaboration_error _ -> None
+  in
+  let verilog () =
+    match Lazy.force elaborated with
+    | e -> Some (Verilog.to_string e.Rtlgen.netlist)
+    | exception Rtlgen.Elaboration_error _ -> None
+  in
+  { Design.design_name = entry;
+    backend = backend_name;
+    run;
+    area;
+    verilog;
+    clock_period = Some (Float.max 1. (Fsmd.critical_state_delay fsmd));
+    stats =
+      [ ("states", string_of_int (Fsmd.num_states fsmd));
+        ("instructions", string_of_int (Cir.num_instrs func));
+        ("regions", string_of_int (Array.length func.Cir.fn_regions)) ]
+      @ extra_stats lowered fsmd }

@@ -1,0 +1,9 @@
+(** Shared plumbing for the FSMD-producing backends: dialect check, lower,
+    CFG-simplify, build the FSMD under the backend's scheduling policy,
+    and wrap simulator + elaboration into a Design. *)
+
+val build :
+  backend_name:string -> dialect:Dialect.t -> ?mem_forwarding:bool ->
+  schedule_block:(Cir.func -> Cir.block -> Schedule.schedule) ->
+  ?extra_stats:(Lower.result -> Fsmd.t -> (string * string) list) ->
+  Ast.program -> entry:string -> Design.t

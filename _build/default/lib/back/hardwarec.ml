@@ -1,0 +1,122 @@
+(* HardwareC backend [Ku & De Micheli, 1990], the Olympus system's input.
+
+   The paper: "Typical in high-level synthesis, HardwareC supports timing
+   constraints such as 'these three statements must execute in two
+   cycles'.  While such constraints can be subtle for the designer and
+   challenging for the compiler, they allow easier design-space
+   exploration."
+
+   Realization: the scheduled-FSMD path plus `constrain(min,max){...}`
+   blocks.  Compilation first schedules under the requested allocation; if
+   any max-cycle constraint is violated it walks the allocation lattice
+   (Constrain.explore) until the constraints hold — the design-space
+   exploration the paper describes — and reports the trail.  Min-cycle
+   constraints are met by padding empty states. *)
+
+exception Unsatisfiable of string
+
+let dialect = Dialect.hardwarec
+
+type report = {
+  statuses : Constrain.status list; (* final constraint status *)
+  exploration : (string * int * bool) list; (* allocation, steps, ok *)
+  chosen_allocation : string;
+}
+
+let compile ?(resources = Schedule.default_allocation)
+    (program : Ast.program) ~entry : Design.t * report =
+  (match Dialect.check dialect program with
+  | [] -> ()
+  | { Dialect.rule; where } :: _ ->
+    failwith (Printf.sprintf "hardwarec: %s (in %s)" rule where));
+  let lowered = Lower.lower_program program ~entry in
+  let func = lowered.Lower.func in
+  let constraints = Constrain.of_lowering lowered.Lower.constraints in
+  (* pick an allocation meeting all max constraints, per block *)
+  let blocks_with_constraints =
+    List.sort_uniq compare (List.map (fun c -> c.Constrain.block) constraints)
+  in
+  let exploration = ref [] in
+  let chosen = ref ("requested allocation", resources) in
+  List.iter
+    (fun b ->
+      let instrs = (Cir.block func b).Cir.instrs in
+      let sched = Schedule.list_schedule func (snd !chosen) instrs in
+      let statuses = Constrain.check constraints ~block:b sched in
+      if
+        List.exists
+          (fun s -> s.Constrain.actual_cycles > s.Constrain.constraint_.Constrain.max_cycles)
+          statuses
+      then begin
+        match Constrain.explore func constraints ~block:b instrs with
+        | Some (label, r), trail ->
+          exploration := !exploration @ trail;
+          chosen := (label, r)
+        | None, trail ->
+          exploration := !exploration @ trail;
+          raise
+            (Unsatisfiable
+               (Printf.sprintf
+                  "no allocation meets the timing constraints of block %d" b))
+      end)
+    blocks_with_constraints;
+  let _, allocation = !chosen in
+  (* schedule every block with the chosen allocation; pad blocks whose
+     constrained ranges finish too quickly (min-cycle constraints) *)
+  let schedule_block (blk : Cir.block) =
+    let sched = Schedule.list_schedule func allocation blk.Cir.instrs in
+    let min_required =
+      List.fold_left
+        (fun acc c ->
+          if c.Constrain.block = blk.Cir.b_id then
+            max acc c.Constrain.min_cycles
+          else acc)
+        0 constraints
+    in
+    if sched.Schedule.num_steps >= min_required then sched
+    else
+      { sched with
+        Schedule.num_steps = min_required;
+        step_delay =
+          Array.append sched.Schedule.step_delay
+            (Array.make (min_required - sched.Schedule.num_steps) 0.) }
+  in
+  let statuses =
+    List.concat_map
+      (fun b ->
+        let sched = schedule_block (Cir.block func b) in
+        Constrain.check constraints ~block:b sched)
+      blocks_with_constraints
+  in
+  let fsmd = Fsmd.of_func func ~schedule_block in
+  let run args =
+    let outcome = Rtlsim.run fsmd ~args in
+    { Design.result = outcome.Rtlsim.return_value;
+      globals = outcome.Rtlsim.globals;
+      memories = outcome.Rtlsim.memories;
+      cycles = Some outcome.Rtlsim.cycles;
+      time_units = None }
+  in
+  let elaborated = lazy (Rtlgen.elaborate fsmd) in
+  let design =
+    { Design.design_name = entry;
+      backend = "hardwarec";
+      run;
+      area =
+        (fun () ->
+          match Lazy.force elaborated with
+          | e -> Some (Area.analyze e.Rtlgen.netlist)
+          | exception Rtlgen.Elaboration_error _ -> None);
+      verilog =
+        (fun () ->
+          match Lazy.force elaborated with
+          | e -> Some (Verilog.to_string e.Rtlgen.netlist)
+          | exception Rtlgen.Elaboration_error _ -> None);
+      clock_period = Some (Float.max 1. (Fsmd.critical_state_delay fsmd));
+      stats =
+        [ ("states", string_of_int (Fsmd.num_states fsmd));
+          ("constraints", string_of_int (List.length constraints));
+          ("allocation", fst !chosen) ] }
+  in
+  ( design,
+    { statuses; exploration = !exploration; chosen_allocation = fst !chosen } )

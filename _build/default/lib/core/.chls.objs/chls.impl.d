@@ -1,0 +1,1 @@
+lib/core/chls.ml: Ast Bachc Buffer C2v_machine Cash Cones Design Dialect Handelc Hardwarec Interp List Printf Specc String Systemc Transmogrifier Typecheck

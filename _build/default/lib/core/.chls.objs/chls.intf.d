@@ -1,0 +1,1 @@
+lib/core/chls.mli: Ast Design Dialect

@@ -1,0 +1,1 @@
+lib/core/workloads.ml: Interp List String Typecheck

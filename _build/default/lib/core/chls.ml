@@ -1,0 +1,132 @@
+(* CHLS public facade.
+
+   One entry point for everything the library does: parse and check a
+   C-like source, pick a surveyed language (a backend), synthesize a
+   design, simulate it, and compare against the software oracle.  The
+   examples, tests, CLI and benchmarks all go through this module. *)
+
+type backend =
+  | Cones_backend
+  | Hardwarec_backend
+  | Transmogrifier_backend
+  | Systemc_backend
+  | Ocapi_backend (* structural EDSL: no C frontend; see Ocapi directly *)
+  | C2verilog_backend
+  | Cyber_backend
+  | Handelc_backend
+  | Specc_backend
+  | Bachc_backend
+  | Cash_backend
+
+let backend_name = function
+  | Cones_backend -> "cones"
+  | Hardwarec_backend -> "hardwarec"
+  | Transmogrifier_backend -> "transmogrifier"
+  | Systemc_backend -> "systemc"
+  | Ocapi_backend -> "ocapi"
+  | C2verilog_backend -> "c2verilog"
+  | Cyber_backend -> "cyber"
+  | Handelc_backend -> "handelc"
+  | Specc_backend -> "specc"
+  | Bachc_backend -> "bachc"
+  | Cash_backend -> "cash"
+
+let backend_of_name name =
+  match String.lowercase_ascii name with
+  | "cones" -> Some Cones_backend
+  | "hardwarec" -> Some Hardwarec_backend
+  | "transmogrifier" | "tmcc" -> Some Transmogrifier_backend
+  | "systemc" -> Some Systemc_backend
+  | "c2verilog" | "c2v" -> Some C2verilog_backend
+  | "cyber" | "bdl" -> Some Cyber_backend
+  | "handelc" | "handel-c" -> Some Handelc_backend
+  | "specc" -> Some Specc_backend
+  | "bachc" | "bach" -> Some Bachc_backend
+  | "cash" -> Some Cash_backend
+  | _ -> None
+
+(** Backends that compile C sources (Ocapi builds hardware structurally
+    from OCaml instead). *)
+let all_compiling_backends =
+  [ Cones_backend; Hardwarec_backend; Transmogrifier_backend;
+    Systemc_backend; C2verilog_backend; Cyber_backend; Handelc_backend;
+    Specc_backend; Bachc_backend; Cash_backend ]
+
+(** Parse and type-check a source string. *)
+let parse = Typecheck.parse_and_check
+
+(** The dialect a backend implements (for legality checking). *)
+let dialect_of = function
+  | Cones_backend -> Dialect.cones
+  | Hardwarec_backend -> Dialect.hardwarec
+  | Transmogrifier_backend -> Dialect.transmogrifier
+  | Systemc_backend -> Dialect.systemc
+  | Ocapi_backend -> Dialect.ocapi
+  | C2verilog_backend -> Dialect.c2verilog
+  | Cyber_backend -> Dialect.cyber
+  | Handelc_backend -> Dialect.handelc
+  | Specc_backend -> Dialect.specc
+  | Bachc_backend -> Dialect.bachc
+  | Cash_backend -> Dialect.cash
+
+(** Can this (checked) program be compiled by this backend? *)
+let accepts backend program = Dialect.check (dialect_of backend) program = []
+
+(** Synthesize a checked program with the chosen backend. *)
+let compile_program backend (program : Ast.program) ~entry : Design.t =
+  match backend with
+  | Cones_backend -> Cones.compile program ~entry
+  | Hardwarec_backend -> fst (Hardwarec.compile program ~entry)
+  | Transmogrifier_backend -> Transmogrifier.compile program ~entry
+  | Systemc_backend -> Systemc.compile program ~entry
+  | Ocapi_backend ->
+    failwith "ocapi is a structural EDSL: build designs with the Ocapi module"
+  | C2verilog_backend -> C2v_machine.compile program ~entry
+  | Cyber_backend -> Bachc.compile_cyber program ~entry
+  | Handelc_backend -> Handelc.compile program ~entry
+  | Specc_backend -> Specc.compile program ~entry
+  | Bachc_backend -> Bachc.compile program ~entry
+  | Cash_backend -> Cash.compile program ~entry
+
+(** Parse, check and synthesize in one step. *)
+let compile backend source ~entry =
+  compile_program backend (parse source) ~entry
+
+(** Run the software oracle on a source. *)
+let reference source ~entry ~args = Interp.run_int source ~entry ~args
+
+type verification = {
+  vector : int list;
+  expected : int;
+  observed : int option;
+  agrees : bool;
+}
+
+(** Check a design against the software semantics on argument vectors. *)
+let verify_against_reference design source ~entry ~arg_sets =
+  List.map
+    (fun args ->
+      let expected = reference source ~entry ~args in
+      let observed = Design.run_int design args in
+      { vector = args; expected; observed; agrees = observed = Some expected })
+    arg_sets
+
+(* --- the paper's Table 1, regenerated --- *)
+
+let render_table1 () =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf "%-18s %-6s %-24s %-28s %s\n" "Language" "Year"
+       "Concurrency" "Timing" "Characterisation (Table 1)");
+  Buffer.add_string buf (String.make 110 '-' ^ "\n");
+  List.iter
+    (fun (d : Dialect.t) ->
+      Buffer.add_string buf
+        (Printf.sprintf "%-18s %-6d %-24s %-28s %s\n" d.Dialect.name
+           d.Dialect.year
+           (Dialect.string_of_concurrency d.Dialect.concurrency)
+           (let s = Dialect.string_of_timing d.Dialect.timing in
+            if String.length s > 28 then String.sub s 0 28 else s)
+           d.Dialect.characterisation))
+    Dialect.table1;
+  Buffer.contents buf

@@ -1,0 +1,59 @@
+(** CHLS public facade: parse and check a C-like source, pick a surveyed
+    language (a backend), synthesize a design, simulate it, and compare
+    against the software oracle.  Examples, tests, CLI and benchmarks all
+    go through this module. *)
+
+type backend =
+  | Cones_backend
+  | Hardwarec_backend
+  | Transmogrifier_backend
+  | Systemc_backend
+  | Ocapi_backend
+      (** structural EDSL: no C frontend; build designs with {!Ocapi} *)
+  | C2verilog_backend
+  | Cyber_backend
+  | Handelc_backend
+  | Specc_backend
+  | Bachc_backend
+  | Cash_backend
+
+val backend_name : backend -> string
+
+val backend_of_name : string -> backend option
+(** Case-insensitive; accepts a few aliases ("tmcc", "c2v", "bdl"). *)
+
+val all_compiling_backends : backend list
+(** Backends that compile C sources (everything except Ocapi). *)
+
+val parse : string -> Ast.program
+(** Parse and type-check a source string.
+    @raise Parser.Error or Typecheck.Error on bad input. *)
+
+val dialect_of : backend -> Dialect.t
+
+val accepts : backend -> Ast.program -> bool
+(** Does the backend's dialect accept this (checked) program? *)
+
+val compile_program : backend -> Ast.program -> entry:string -> Design.t
+(** Synthesize a checked program.  Fails if the dialect rejects it. *)
+
+val compile : backend -> string -> entry:string -> Design.t
+(** Parse, check and synthesize in one step. *)
+
+val reference : string -> entry:string -> args:int list -> int
+(** The software oracle (reference interpreter) on a source string. *)
+
+type verification = {
+  vector : int list;
+  expected : int;
+  observed : int option;
+  agrees : bool;
+}
+
+val verify_against_reference :
+  Design.t -> string -> entry:string -> arg_sets:int list list ->
+  verification list
+(** Check a design against the software semantics on argument vectors. *)
+
+val render_table1 : unit -> string
+(** The paper's Table 1, regenerated from the dialect registry. *)

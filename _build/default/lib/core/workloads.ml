@@ -1,0 +1,420 @@
+(* The built-in workload suite.
+
+   These kernels are the kinds of programs the surveyed papers evaluate
+   on — DSP loops (FIR, dot product, matrix multiply), control-dominated
+   algorithms (GCD, bubble sort), bit manipulation (CRC, popcount),
+   streaming process networks (producer/consumer over channels) and the
+   thorny-C cases only C2Verilog accepts (pointers, recursion, malloc).
+   Each workload carries representative argument vectors so tests and
+   experiments share one ground truth. *)
+
+type category =
+  | Regular_loop (* data-independent trip counts, pipelineable *)
+  | Irregular (* data-dependent control *)
+  | Bit_twiddling
+  | Concurrent (* par / channels *)
+  | Thorny_c (* pointers, recursion, malloc *)
+
+type t = {
+  name : string;
+  source : string;
+  entry : string;
+  arg_sets : int list list;
+  category : category;
+  description : string;
+}
+
+let gcd =
+  { name = "gcd";
+    entry = "gcd";
+    category = Irregular;
+    description = "Euclid's algorithm; data-dependent loop with division";
+    arg_sets = [ [ 54; 24 ]; [ 1071; 462 ]; [ 17; 5 ]; [ 270; 192 ] ];
+    source =
+      {|
+      int gcd(int a, int b) {
+        while (b != 0) {
+          int t = b;
+          b = a % b;
+          a = t;
+        }
+        return a;
+      }
+      |} }
+
+let fib =
+  { name = "fib";
+    entry = "fib";
+    category = Regular_loop;
+    description = "iterative Fibonacci; serial dependence chain";
+    arg_sets = [ [ 10 ]; [ 0 ]; [ 1 ]; [ 24 ] ];
+    source =
+      {|
+      int fib(int n) {
+        int a = 0;
+        int b = 1;
+        for (int i = 0; i < n; i = i + 1) {
+          int t = a + b;
+          a = b;
+          b = t;
+        }
+        return a;
+      }
+      |} }
+
+let fir =
+  { name = "fir";
+    entry = "fir";
+    category = Regular_loop;
+    description = "8-tap FIR filter over a window; classic DSP kernel";
+    arg_sets = [ [ 1; 2 ]; [ 5; -3 ]; [ 100; 7 ] ];
+    source =
+      {|
+      int coeff[8] = {1, -2, 3, -4, 5, -6, 7, -8};
+      int fir(int x0, int step) {
+        int window[8];
+        for (int i = 0; i < 8; i = i + 1) {
+          window[i] = x0 + i * step;
+        }
+        int acc = 0;
+        for (int i = 0; i < 8; i = i + 1) {
+          acc = acc + coeff[i] * window[i];
+        }
+        return acc;
+      }
+      |} }
+
+let dotprod =
+  { name = "dotprod";
+    entry = "dotprod";
+    category = Regular_loop;
+    description = "dot product of two 16-element vectors";
+    arg_sets = [ [ 1; 1 ]; [ 3; -2 ]; [ 7; 11 ] ];
+    source =
+      {|
+      int va[16];
+      int vb[16];
+      int dotprod(int seed_a, int seed_b) {
+        for (int i = 0; i < 16; i = i + 1) {
+          va[i] = seed_a + i;
+          vb[i] = seed_b - i;
+        }
+        int acc = 0;
+        for (int i = 0; i < 16; i = i + 1) {
+          acc = acc + va[i] * vb[i];
+        }
+        return acc;
+      }
+      |} }
+
+let matmul =
+  { name = "matmul";
+    entry = "matmul";
+    category = Regular_loop;
+    description = "4x4 integer matrix multiply, checksum of the product";
+    arg_sets = [ [ 1 ]; [ 3 ]; [ -2 ] ];
+    source =
+      {|
+      int ma[16];
+      int mb[16];
+      int mc[16];
+      int matmul(int seed) {
+        for (int i = 0; i < 16; i = i + 1) {
+          ma[i] = seed + i;
+          mb[i] = seed * 2 - i;
+        }
+        for (int i = 0; i < 4; i = i + 1) {
+          for (int j = 0; j < 4; j = j + 1) {
+            int acc = 0;
+            for (int k = 0; k < 4; k = k + 1) {
+              acc = acc + ma[i * 4 + k] * mb[k * 4 + j];
+            }
+            mc[i * 4 + j] = acc;
+          }
+        }
+        int sum = 0;
+        for (int i = 0; i < 16; i = i + 1) { sum = sum + mc[i]; }
+        return sum;
+      }
+      |} }
+
+let bsort =
+  { name = "bsort";
+    entry = "bsort";
+    category = Irregular;
+    description = "bubble sort of 12 elements; data-dependent swaps";
+    arg_sets = [ [ 7 ]; [ 1 ]; [ 13 ] ];
+    source =
+      {|
+      int data[12];
+      int bsort(int seed) {
+        for (int i = 0; i < 12; i = i + 1) {
+          data[i] = (seed * (i + 3) * 7919) % 100;
+        }
+        for (int i = 0; i < 11; i = i + 1) {
+          for (int j = 0; j < 11 - i; j = j + 1) {
+            if (data[j] > data[j + 1]) {
+              int t = data[j];
+              data[j] = data[j + 1];
+              data[j + 1] = t;
+            }
+          }
+        }
+        int checksum = 0;
+        for (int i = 0; i < 12; i = i + 1) {
+          checksum = checksum * 3 + data[i];
+        }
+        return checksum;
+      }
+      |} }
+
+let crc =
+  { name = "crc";
+    entry = "crc8";
+    category = Bit_twiddling;
+    description = "bit-serial CRC-8 over one input word";
+    arg_sets = [ [ 0 ]; [ 0xA5 ]; [ 0x1234 ] ];
+    source =
+      {|
+      int crc8(int input) {
+        unsigned int crc = 0xFFu;
+        unsigned int data = (unsigned int)input;
+        for (int i = 0; i < 16; i = i + 1) {
+          unsigned int bit = (crc ^ data) & 1u;
+          crc = crc >> 1;
+          if (bit != 0u) { crc = crc ^ 0x8Cu; }
+          data = data >> 1;
+        }
+        return (int)crc;
+      }
+      |} }
+
+let popcount =
+  { name = "popcount";
+    entry = "popcount";
+    category = Bit_twiddling;
+    description = "population count by shift-and-mask loop";
+    arg_sets = [ [ 0 ]; [ 0xABCD ]; [ -1 ] ];
+    source =
+      {|
+      int popcount(int input) {
+        unsigned int x = (unsigned int)input;
+        int n = 0;
+        while (x != 0u) {
+          n = n + (int)(x & 1u);
+          x = x >> 1;
+        }
+        return n;
+      }
+      |} }
+
+let checksum =
+  { name = "checksum";
+    entry = "checksum";
+    category = Regular_loop;
+    description = "Fletcher-style checksum with temporaries (fusion target)";
+    arg_sets = [ [ 3 ]; [ 100 ]; [ -9 ] ];
+    source =
+      {|
+      int buf[8];
+      int checksum(int seed) {
+        for (int i = 0; i < 8; i = i + 1) {
+          buf[i] = seed * (i + 1);
+        }
+        int s1 = 0;
+        int s2 = 0;
+        for (int i = 0; i < 8; i = i + 1) {
+          int v = buf[i];
+          int t1 = s1 + v;
+          int t2 = t1 & 65535;
+          s1 = t2;
+          int u1 = s2 + s1;
+          int u2 = u1 & 65535;
+          s2 = u2;
+        }
+        return s2 * 65536 + s1;
+      }
+      |} }
+
+let producer_consumer =
+  { name = "producer_consumer";
+    entry = "run";
+    category = Concurrent;
+    description = "two-stage pipeline over a rendezvous channel";
+    arg_sets = [ [ 4 ]; [ 9 ] ];
+    source =
+      {|
+      chan int c;
+      int run(int n) {
+        int total = 0;
+        par {
+          {
+            for (int i = 0; i < 8; i = i + 1) {
+              send(c, i * n);
+            }
+          }
+          {
+            for (int i = 0; i < 8; i = i + 1) {
+              int v = recv(c);
+              total = total + v;
+            }
+          }
+        }
+        return total;
+      }
+      |} }
+
+let pointer_sum =
+  { name = "pointer_sum";
+    entry = "run";
+    category = Thorny_c;
+    description = "walks an array through a pointer; C2Verilog territory";
+    arg_sets = [ [ 5 ]; [ -2 ] ];
+    source =
+      {|
+      int buf[10];
+      int run(int seed) {
+        for (int i = 0; i < 10; i = i + 1) { buf[i] = seed + i * i; }
+        int* p = buf;
+        int acc = 0;
+        for (int i = 0; i < 10; i = i + 1) {
+          acc = acc + *(p + i);
+        }
+        return acc;
+      }
+      |} }
+
+let recursion =
+  { name = "recursion";
+    entry = "run";
+    category = Thorny_c;
+    description = "recursive Ackermann-lite; needs a runtime stack";
+    arg_sets = [ [ 6 ]; [ 10 ] ];
+    source =
+      {|
+      int sumto(int n) {
+        if (n <= 0) { return 0; }
+        return n + sumto(n - 1);
+      }
+      int fibr(int n) {
+        if (n < 2) { return n; }
+        return fibr(n - 1) + fibr(n - 2);
+      }
+      int run(int n) {
+        return sumto(n) * 100 + fibr(n);
+      }
+      |} }
+
+let dynamic_list =
+  { name = "dynamic_list";
+    entry = "run";
+    category = Thorny_c;
+    description = "malloc'd linked list build + traversal";
+    arg_sets = [ [ 5 ]; [ 9 ] ];
+    source =
+      {|
+      int run(int n) {
+        /* node: [0] = value, [1] = next pointer (0 = nil) */
+        int* head = (int*)0;
+        for (int i = 0; i < n; i = i + 1) {
+          int* node = malloc(2);
+          node[0] = i * i;
+          node[1] = (int)head;
+          head = node;
+        }
+        int acc = 0;
+        while ((int)head != 0) {
+          acc = acc + head[0];
+          head = (int*)head[1];
+        }
+        return acc;
+      }
+      |} }
+
+let histogram =
+  { name = "histogram";
+    entry = "histogram";
+    category = Regular_loop;
+    description = "bin 32 samples into 8 buckets; read-modify-write on one RAM";
+    arg_sets = [ [ 1 ]; [ 5 ]; [ -3 ] ];
+    source =
+      {|
+      int bins[8];
+      int histogram(int seed) {
+        for (int i = 0; i < 8; i = i + 1) { bins[i] = 0; }
+        for (int i = 0; i < 32; i = i + 1) {
+          int sample = (((seed * 7 + i * i * i) & 1023) >> 2) & 7;
+          bins[sample] = bins[sample] + 1;
+        }
+        int spread = 0;
+        for (int i = 0; i < 8; i = i + 1) {
+          spread = spread * 33 + bins[i];
+        }
+        return spread;
+      }
+      |} }
+
+let isqrt_newton =
+  { name = "isqrt_newton";
+    entry = "isqrt";
+    category = Irregular;
+    description = "Newton iteration for integer square root; division chain";
+    arg_sets = [ [ 123456 ]; [ 0 ]; [ 17 ]; [ 10000 ] ];
+    source =
+      {|
+      int isqrt(int x) {
+        if (x <= 0) { return 0; }
+        int guess = x;
+        int next = (guess + x / guess) / 2;
+        while (next < guess) {
+          guess = next;
+          next = (guess + x / guess) / 2;
+        }
+        return guess;
+      }
+      |} }
+
+let transpose =
+  { name = "transpose";
+    entry = "transpose";
+    category = Regular_loop;
+    description = "4x4 in-place transpose, checksummed; swap-heavy memory traffic";
+    arg_sets = [ [ 2 ]; [ 9 ] ];
+    source =
+      {|
+      int m[16];
+      int transpose(int seed) {
+        for (int i = 0; i < 16; i = i + 1) { m[i] = seed * i + (i ^ 5); }
+        for (int i = 0; i < 4; i = i + 1) {
+          for (int j = i + 1; j < 4; j = j + 1) {
+            int t = m[i * 4 + j];
+            m[i * 4 + j] = m[j * 4 + i];
+            m[j * 4 + i] = t;
+          }
+        }
+        int acc = 0;
+        for (int i = 0; i < 16; i = i + 1) { acc = acc * 7 + m[i]; }
+        return acc;
+      }
+      |} }
+
+(** Workloads every sequential backend accepts. *)
+let sequential =
+  [ gcd; fib; fir; dotprod; matmul; bsort; crc; popcount; checksum;
+    histogram; isqrt_newton; transpose ]
+
+(** Bounded-loop, pointer-free subset Cones accepts (no while loops, no
+    data-dependent trip counts — bsort's triangular inner loop is out). *)
+let combinational = [ fir; dotprod; matmul; crc; checksum ]
+
+let concurrent = [ producer_consumer ]
+let thorny = [ pointer_sum; recursion; dynamic_list ]
+let all = sequential @ concurrent @ thorny
+
+let find name = List.find_opt (fun w -> String.equal w.name name) all
+
+(** Reference result from the software oracle. *)
+let reference w args =
+  Interp.run_int w.source ~entry:w.entry ~args
+
+let parse w = Typecheck.parse_and_check w.source

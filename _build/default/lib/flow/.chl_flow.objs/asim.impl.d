@@ -1,0 +1,1 @@
+lib/flow/asim.ml: Area Array Bitvec Cir Float List Neteval Option Ssa

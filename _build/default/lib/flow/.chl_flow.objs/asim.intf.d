@@ -1,0 +1,1 @@
+lib/flow/asim.mli: Bitvec Cir Ssa

@@ -1,0 +1,1 @@
+lib/flow/dfg.ml: Area Array Bitvec Cir Hashtbl List Netlist Printf Ssa

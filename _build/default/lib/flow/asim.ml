@@ -1,0 +1,187 @@
+(* Timed token simulation of the asynchronous dataflow circuit.
+
+   Executes the SSA form with *timestamps*: every value carries the time
+   its token becomes available; an operator fires when all its input
+   tokens (and its control token) have arrived, taking its latency plus a
+   handshake overhead.  Control tokens model the mu/eta structure: a
+   block's control token arrives when the branch steering into it
+   resolved; a phi's output is available at max(incoming value, control
+   token).  Memory is token-serialized per region (CASH's load-store
+   token chains): a load cannot fire before the last store to that region
+   completed, and a store waits for prior loads.
+
+   There is no clock anywhere: completion time is the critical path of
+   the *dynamic* computation, which is exactly the asynchronous-circuit
+   advantage experiment E6 measures against the synchronous backends
+   (whose every operation is quantized to a multiple of the clock). *)
+
+type timing = {
+  latency : Cir.instr -> float; (* pure computation delay, time units *)
+  handshake : float; (* per-token request/acknowledge overhead *)
+}
+
+(* Latency in time units ~ gate delays, consistent with Area's delay model
+   so sync and async compare on the same scale. *)
+let default_timing =
+  { latency =
+      (fun instr ->
+        match instr with
+        | Cir.I_bin { op; a; _ } ->
+          let w =
+            match a with
+            | Cir.O_reg _ -> 32
+            | Cir.O_imm bv -> Bitvec.width bv
+          in
+          (Area.binop_cost op w).Area.delay
+        | Cir.I_un { op; _ } -> (Area.unop_cost op 32).Area.delay
+        | Cir.I_mux _ -> 2.
+        | Cir.I_mov _ | Cir.I_cast _ -> 0.
+        | Cir.I_load _ -> 6.
+        | Cir.I_store _ -> 3.);
+    handshake = 2. }
+
+type outcome = {
+  return_value : Bitvec.t option;
+  completion_time : float;
+  tokens_fired : int;
+  globals : (string * Bitvec.t) list;
+  memories : (string * Bitvec.t array) list;
+}
+
+exception Timeout
+
+(** Execute the dataflow circuit of [ssa] with timed tokens. *)
+let run ?(timing = default_timing) ?(max_tokens = 10_000_000) (ssa : Ssa.t)
+    ~args : outcome =
+  let func = ssa.Ssa.func in
+  let regs =
+    Array.init func.Cir.fn_reg_count (fun r ->
+        Bitvec.zero (max 1 func.Cir.fn_reg_widths.(r)))
+  in
+  let reg_time = Array.make func.Cir.fn_reg_count 0. in
+  let memories =
+    Array.map
+      (fun (rg : Cir.region) ->
+        match rg.Cir.rg_init with
+        | Some init -> Array.copy init
+        | None -> Array.make rg.Cir.rg_words (Bitvec.zero rg.Cir.rg_width))
+      func.Cir.fn_regions
+  in
+  let mem_store_time = Array.make (Array.length memories) 0. in
+  let mem_load_time = Array.make (Array.length memories) 0. in
+  List.iter (fun (_, r, init) -> regs.(r) <- init) func.Cir.fn_globals;
+  List.iter2
+    (fun (_, r) v ->
+      regs.(r) <- Bitvec.resize ~signed:true ~width:(Cir.reg_width func r) v)
+    func.Cir.fn_params args;
+  let value = function
+    | Cir.O_imm bv -> bv
+    | Cir.O_reg r -> regs.(r)
+  in
+  let time_of = function
+    | Cir.O_imm _ -> 0.
+    | Cir.O_reg r -> reg_time.(r)
+  in
+  let fired = ref 0 in
+  let fire () =
+    incr fired;
+    if !fired > max_tokens then raise Timeout
+  in
+  let rec run_block ~came_from ~control b =
+    (* phis: merge (mu) nodes fire at max(value token, control token) *)
+    let phi_updates =
+      List.map
+        (fun (phi : Ssa.phi) ->
+          match List.assoc_opt came_from phi.Ssa.p_srcs with
+          | Some src ->
+            (phi.Ssa.p_dst, value src,
+             Float.max control (time_of src) +. timing.handshake)
+          | None -> (phi.Ssa.p_dst, Bitvec.zero phi.Ssa.p_width, control))
+        ssa.Ssa.phis.(b)
+    in
+    List.iter
+      (fun (dst, v, t) ->
+        fire ();
+        regs.(dst) <- v;
+        reg_time.(dst) <- t)
+      phi_updates;
+    let blk = Cir.block func b in
+    List.iter
+      (fun instr ->
+        fire ();
+        let input_time =
+          List.fold_left
+            (fun acc r -> Float.max acc reg_time.(r))
+            control (Cir.uses_of instr)
+        in
+        let finish = input_time +. timing.latency instr +. timing.handshake in
+        match instr with
+        | Cir.I_bin { op; dst; a; b } ->
+          regs.(dst) <- Neteval.apply_binop op (value a) (value b);
+          reg_time.(dst) <- finish
+        | Cir.I_un { op; dst; a } ->
+          regs.(dst) <- Neteval.apply_unop op (value a);
+          reg_time.(dst) <- finish
+        | Cir.I_mov { dst; src } ->
+          regs.(dst) <- value src;
+          reg_time.(dst) <- finish
+        | Cir.I_cast { dst; signed; src } ->
+          regs.(dst) <-
+            Bitvec.resize ~signed ~width:(Cir.reg_width func dst) (value src);
+          reg_time.(dst) <- finish
+        | Cir.I_mux { dst; sel; if_true; if_false } ->
+          regs.(dst) <-
+            (if Bitvec.to_bool (value sel) then value if_true
+             else value if_false);
+          reg_time.(dst) <- finish
+        | Cir.I_load { dst; region; addr } ->
+          let start = Float.max input_time mem_store_time.(region) in
+          let finish = start +. timing.latency instr +. timing.handshake in
+          let mem = memories.(region) in
+          let a = Bitvec.to_int_unsigned (value addr) in
+          regs.(dst) <-
+            (if a < Array.length mem then mem.(a)
+             else Bitvec.zero (Cir.reg_width func dst));
+          reg_time.(dst) <- finish;
+          mem_load_time.(region) <- Float.max mem_load_time.(region) finish
+        | Cir.I_store { region; addr; value = v } ->
+          let start =
+            Float.max input_time
+              (Float.max mem_store_time.(region) mem_load_time.(region))
+          in
+          let finish = start +. timing.latency instr +. timing.handshake in
+          let mem = memories.(region) in
+          let a = Bitvec.to_int_unsigned (value addr) in
+          if a < Array.length mem then mem.(a) <- value v;
+          mem_store_time.(region) <- finish)
+      blk.Cir.instrs;
+    match blk.Cir.term with
+    | Cir.T_jump next -> run_block ~came_from:b ~control next
+    | Cir.T_branch { cond; if_true; if_false } ->
+      (* eta/steer: successors' control tokens wait for the predicate *)
+      fire ();
+      let resolve = Float.max control (time_of cond) +. timing.handshake in
+      if Bitvec.to_bool (value cond) then
+        run_block ~came_from:b ~control:resolve if_true
+      else run_block ~came_from:b ~control:resolve if_false
+    | Cir.T_return v ->
+      let t =
+        match v with
+        | Some op -> Float.max control (time_of op) +. timing.handshake
+        | None -> control
+      in
+      (Option.map value v, t)
+  in
+  let return_value, completion_time =
+    run_block ~came_from:(-1) ~control:0. func.Cir.fn_entry
+  in
+  { return_value;
+    completion_time;
+    tokens_fired = !fired;
+    globals =
+      List.map (fun (name, r, _) -> (name, regs.(r))) func.Cir.fn_globals;
+    memories =
+      Array.to_list
+        (Array.mapi
+           (fun i (rg : Cir.region) -> (rg.Cir.rg_name, memories.(i)))
+           func.Cir.fn_regions) }

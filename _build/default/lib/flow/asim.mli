@@ -1,0 +1,27 @@
+(** Timed token simulation of the asynchronous dataflow circuit: every
+    value carries the time its token becomes available; operators fire
+    when inputs (and the control token) arrive, taking latency plus a
+    handshake overhead; memory is token-serialized per region.  No clock
+    anywhere — completion time is the dynamic critical path, which is the
+    asynchronous advantage experiment E6 measures. *)
+
+type timing = {
+  latency : Cir.instr -> float;  (** pure computation delay, time units *)
+  handshake : float;  (** per-token request/acknowledge overhead *)
+}
+
+val default_timing : timing
+(** Latencies consistent with the Area delay model (so synchronous and
+    asynchronous designs compare on one scale); handshake 2.0. *)
+
+type outcome = {
+  return_value : Bitvec.t option;
+  completion_time : float;
+  tokens_fired : int;
+  globals : (string * Bitvec.t) list;
+  memories : (string * Bitvec.t array) list;
+}
+
+exception Timeout
+
+val run : ?timing:timing -> ?max_tokens:int -> Ssa.t -> args:Bitvec.t list -> outcome

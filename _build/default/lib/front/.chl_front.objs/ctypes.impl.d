@@ -1,0 +1,1 @@
+lib/front/ctypes.ml: Format List Printf String

@@ -1,0 +1,1 @@
+lib/front/ctypes.mli: Format

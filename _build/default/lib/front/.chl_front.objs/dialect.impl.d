@@ -1,0 +1,1 @@
+lib/front/dialect.ml: Ast Ctypes Hashtbl List Loopform String

@@ -1,0 +1,1 @@
+lib/front/interp.ml: Array Ast Bitvec Ctypes Fun Hashtbl List Option Printf String Typecheck

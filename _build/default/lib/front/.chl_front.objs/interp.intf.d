@@ -1,0 +1,1 @@
+lib/front/interp.mli: Ast Bitvec Ctypes Hashtbl

@@ -1,0 +1,1 @@
+lib/front/lexer.ml: Ast Char Int64 List Printf String

@@ -1,0 +1,1 @@
+lib/front/loopform.ml: Ast Int64 List Option String

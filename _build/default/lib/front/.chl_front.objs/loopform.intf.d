@@ -1,0 +1,1 @@
+lib/front/loopform.mli: Ast

@@ -1,0 +1,1 @@
+lib/front/parser.ml: Array Ast Ctypes Int32 Int64 Lexer List Option

@@ -1,0 +1,1 @@
+lib/front/pretty.ml: Ast Ctypes Format Int64 List Printf String

@@ -1,0 +1,1 @@
+lib/front/typecheck.ml: Ast Ctypes Hashtbl List Option Parser Printf

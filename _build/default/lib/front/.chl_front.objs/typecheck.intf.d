@@ -1,0 +1,1 @@
+lib/front/typecheck.mli: Ast Ctypes

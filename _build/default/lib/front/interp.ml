@@ -1,0 +1,696 @@
+(* Reference interpreter: the software semantics of the CHLS language.
+
+   This is the oracle every hardware backend is tested against.  It is
+   deliberately *untimed* — the paper's point is that time is absent from
+   the C programming model: it guarantees causality but says nothing about
+   execution time — so the interpreter counts statement steps only as a
+   work measure, never as clock cycles.
+
+   Structure: expressions are evaluated big-step; statements run on a
+   small-step thread machine so `par` branches interleave (round-robin in
+   creation order) and rendezvous channels can block.  Function calls are
+   big-step and therefore must be sequential (no par/channel ops inside a
+   function called from an expression); the top-level entry function body
+   gets the full concurrent treatment.
+
+   Memory is word-addressed: every scalar (of any width) occupies one word
+   holding a Bitvec of its declared width; pointers are 32-bit word
+   addresses.  Globals live at low addresses, the stack above them.  The
+   thread machine never shrinks the stack (block scopes may interleave
+   across threads); big-step calls run atomically and do reclaim their
+   frames. *)
+
+exception Runtime_error of string
+exception Deadlock
+exception Timeout
+exception Return_value of Bitvec.t option
+exception Break_exn
+exception Continue_exn
+
+let error fmt = Printf.ksprintf (fun m -> raise (Runtime_error m)) fmt
+
+type store = {
+  mutable mem : Bitvec.t array;
+  mutable sp : int; (* next free stack word *)
+  globals : (string, int * Ctypes.t) Hashtbl.t;
+  mutable heap_next : int; (* bump pointer for malloc, above the stack *)
+}
+
+(* The stack lives in [0, heap_base); malloc carves from [heap_base, ...).
+   Keeping them disjoint means returning from a function (which lowers sp)
+   never invalidates heap storage. *)
+let heap_base = 1 lsl 16
+
+let grow store needed =
+  if needed > Array.length store.mem then begin
+    let bigger =
+      Array.make (max (2 * Array.length store.mem) needed) (Bitvec.zero 1)
+    in
+    Array.blit store.mem 0 bigger 0 (Array.length store.mem);
+    store.mem <- bigger
+  end
+
+let alloc store words =
+  let base = store.sp in
+  store.sp <- store.sp + words;
+  if store.sp > heap_base then error "stack overflow";
+  grow store store.sp;
+  base
+
+let alloc_heap store words =
+  let base = store.heap_next in
+  store.heap_next <- store.heap_next + words;
+  grow store store.heap_next;
+  base
+
+let valid_address store addr =
+  (addr >= 0 && addr < store.sp)
+  || (addr >= heap_base && addr < store.heap_next)
+
+let load store addr =
+  if not (valid_address store addr) then
+    error "load out of bounds (addr %d, sp %d)" addr store.sp;
+  store.mem.(addr)
+
+let store_word store addr v =
+  if not (valid_address store addr) then
+    error "store out of bounds (addr %d, sp %d)" addr store.sp;
+  store.mem.(addr) <- v
+
+(* --- environments: name -> (address, declared type) --- *)
+
+type scope = (string, int * Ctypes.t) Hashtbl.t
+
+type env = {
+  store : store;
+  program : Ast.program;
+  mutable scopes : scope list;
+  mutable steps : int;
+  fuel : int;
+}
+
+let step env =
+  env.steps <- env.steps + 1;
+  if env.steps > env.fuel then raise Timeout
+
+let lookup env name =
+  let rec go = function
+    | [] -> (
+      match Hashtbl.find_opt env.store.globals name with
+      | Some binding -> binding
+      | None -> error "undefined variable %s" name)
+    | scope :: rest -> (
+      match Hashtbl.find_opt scope name with
+      | Some binding -> binding
+      | None -> go rest)
+  in
+  go env.scopes
+
+let declared_width ty = max 1 (Ctypes.width ty)
+
+(* Width in words of the pointee, used to scale pointer arithmetic. *)
+let pointee_words = function
+  | Ctypes.Pointer t | Ctypes.Array (t, _) -> max 1 (Ctypes.word_count t)
+  | Ctypes.Void | Ctypes.Integer _ | Ctypes.Function _ -> 1
+
+let ptr_width = Ctypes.pointer_width
+
+let bool_result b =
+  Bitvec.of_int ~width:(Ctypes.width Ctypes.int_t) (if b then 1 else 0)
+
+(* --- expression evaluation (big-step) --- *)
+
+let rec eval env (e : Ast.expr) : Bitvec.t =
+  match e.e with
+  | Const (v, ty) -> Bitvec.of_int64 ~width:(declared_width ty) v
+  | Var name ->
+    let addr, ty = lookup env name in
+    (match ty with
+    | Ctypes.Array _ -> Bitvec.of_int ~width:ptr_width addr
+    | Ctypes.Void | Ctypes.Integer _ | Ctypes.Pointer _ | Ctypes.Function _
+      -> load env.store addr)
+  | Unop (Ast.Log_not, a) -> bool_result (Bitvec.is_zero (eval env a))
+  | Unop (Ast.Neg, a) -> Bitvec.neg (eval env a)
+  | Unop (Ast.Bit_not, a) -> Bitvec.lognot (eval env a)
+  | Binop (Ast.Log_and, a, b) ->
+    bool_result
+      ((not (Bitvec.is_zero (eval env a)))
+      && not (Bitvec.is_zero (eval env b)))
+  | Binop (Ast.Log_or, a, b) ->
+    bool_result
+      (not (Bitvec.is_zero (eval env a)) || not (Bitvec.is_zero (eval env b)))
+  | Binop (op, a, b) -> eval_binop env op a b
+  | Assign (lhs, rhs) ->
+    let v = eval env rhs in
+    let addr = eval_lvalue env lhs in
+    store_word env.store addr v;
+    v
+  | Cond (c, t, f) ->
+    if Bitvec.is_zero (eval env c) then eval env f else eval env t
+  | Call (name, args) -> eval_call env name args
+  | Index _ | Deref _ ->
+    let addr = eval_lvalue env e in
+    (match e.ty with
+    | Ctypes.Array _ -> Bitvec.of_int ~width:ptr_width addr
+    | Ctypes.Void | Ctypes.Integer _ | Ctypes.Pointer _ | Ctypes.Function _
+      -> load env.store addr)
+  | Addr_of a -> Bitvec.of_int ~width:ptr_width (eval_lvalue env a)
+  | Cast (ty, a) ->
+    let v = eval env a in
+    Bitvec.resize ~signed:(Ctypes.is_signed a.ty) ~width:(declared_width ty) v
+  | Chan_recv _ -> error "channel receive inside an expression-context call"
+
+and eval_binop env op a b =
+  match (op, a.Ast.ty, b.Ast.ty) with
+  | Ast.Add, Ctypes.Pointer _, _ ->
+    let base = eval env a and idx = eval env b in
+    let words = pointee_words a.ty in
+    Bitvec.add base (Bitvec.of_int ~width:ptr_width (Bitvec.to_int idx * words))
+  | Ast.Sub, Ctypes.Pointer _, ti when Ctypes.is_integer ti ->
+    let base = eval env a and idx = eval env b in
+    let words = pointee_words a.ty in
+    Bitvec.sub base (Bitvec.of_int ~width:ptr_width (Bitvec.to_int idx * words))
+  | Ast.Sub, Ctypes.Pointer _, Ctypes.Pointer _ ->
+    let va = eval env a and vb = eval env b in
+    let words = pointee_words a.ty in
+    Bitvec.of_int ~width:(Ctypes.width Ctypes.int_t)
+      ((Bitvec.to_int va - Bitvec.to_int vb) / words)
+  | _ ->
+    let va = eval env a and vb = eval env b in
+    let signed = Ctypes.is_signed a.ty in
+    let open Bitvec in
+    (match op with
+    | Ast.Add -> add va vb
+    | Ast.Sub -> sub va vb
+    | Ast.Mul -> mul va vb
+    | Ast.Div -> if signed then sdiv va vb else udiv va vb
+    | Ast.Mod -> if signed then srem va vb else urem va vb
+    | Ast.Band -> logand va vb
+    | Ast.Bor -> logor va vb
+    | Ast.Bxor -> logxor va vb
+    | Ast.Shl -> shl va vb
+    | Ast.Shr -> if signed then ashr va vb else lshr va vb
+    | Ast.Eq -> bool_result (equal va vb)
+    | Ast.Ne -> bool_result (not (equal va vb))
+    | Ast.Lt -> bool_result (if signed then slt va vb else ult va vb)
+    | Ast.Le -> bool_result (if signed then sle va vb else ule va vb)
+    | Ast.Gt -> bool_result (if signed then slt vb va else ult vb va)
+    | Ast.Ge -> bool_result (if signed then sle vb va else ule vb va)
+    | Ast.Log_and | Ast.Log_or -> assert false)
+
+and eval_lvalue env (e : Ast.expr) : int =
+  match e.e with
+  | Var name -> fst (lookup env name)
+  | Deref a -> Bitvec.to_int_unsigned (eval env a)
+  | Index (base, idx) ->
+    let elt_words =
+      match Ctypes.decay base.ty with
+      | Ctypes.Pointer elt -> max 1 (Ctypes.word_count elt)
+      | Ctypes.Void | Ctypes.Integer _ | Ctypes.Array _ | Ctypes.Function _
+        -> error "indexing a non-pointer"
+    in
+    let base_addr =
+      match base.ty with
+      | Ctypes.Array _ -> eval_lvalue env base
+      | Ctypes.Void | Ctypes.Integer _ | Ctypes.Pointer _ | Ctypes.Function _
+        -> Bitvec.to_int_unsigned (eval env base)
+    in
+    base_addr + (Bitvec.to_int (eval env idx) * elt_words)
+  | Const _ | Unop _ | Binop _ | Assign _ | Cond _ | Call _ | Addr_of _
+  | Cast _ | Chan_recv _ -> error "not an lvalue"
+
+(* --- big-step function execution (sequential subset) --- *)
+
+and eval_call env name args =
+  match (Ast.find_func env.program name, name, args) with
+  | None, "malloc", [ n ] ->
+    (* bump allocation from the heap half of the word store; never freed *)
+    let words = max 1 (Bitvec.to_int (eval env n)) in
+    let base = alloc_heap env.store words in
+    for i = 0 to words - 1 do
+      env.store.mem.(base + i) <- Bitvec.zero 32
+    done;
+    Bitvec.of_int ~width:ptr_width base
+  | None, _, _ -> error "call to undefined function %s" name
+  | Some func, _, _ -> eval_user_call env func args
+
+and eval_user_call env func args =
+  let arg_values = List.map (eval env) args in
+  let saved_sp = env.store.sp in
+  let frame : scope = Hashtbl.create 8 in
+  List.iter2
+    (fun (ty, pname) v ->
+      let ty =
+        match ty with Ctypes.Array (elt, _) -> Ctypes.Pointer elt | t -> t
+      in
+      let addr = alloc env.store 1 in
+      store_word env.store addr v;
+      Hashtbl.replace frame pname (addr, ty))
+    func.f_params arg_values;
+  let saved_scopes = env.scopes in
+  env.scopes <- [ frame ];
+  let finish () =
+    env.scopes <- saved_scopes;
+    env.store.sp <- saved_sp
+  in
+  let result =
+    try
+      List.iter (exec_big env) func.f_body;
+      Bitvec.zero (max 1 (Ctypes.width func.f_ret))
+    with
+    | Return_value (Some v) -> v
+    | Return_value None -> Bitvec.zero (max 1 (Ctypes.width func.f_ret))
+    | exn ->
+      finish ();
+      raise exn
+  in
+  finish ();
+  result
+
+and exec_big env (st : Ast.stmt) : unit =
+  step env;
+  match st.s with
+  | Expr e -> ignore (eval env e)
+  | Decl (ty, name, init) ->
+    let addr = alloc env.store (max 1 (Ctypes.word_count ty)) in
+    (match env.scopes with
+    | scope :: _ -> Hashtbl.replace scope name (addr, ty)
+    | [] -> error "no scope");
+    (match init with
+    | None -> ()
+    | Some e -> store_word env.store addr (eval env e))
+  | If (c, t, f) ->
+    if Bitvec.is_zero (eval env c) then exec_block_big env f
+    else exec_block_big env t
+  | While (c, body) -> (
+    try
+      while not (Bitvec.is_zero (eval env c)) do
+        step env;
+        try exec_block_big env body with Continue_exn -> ()
+      done
+    with Break_exn -> ())
+  | Do_while (body, c) -> (
+    try
+      let continue = ref true in
+      while !continue do
+        step env;
+        (try exec_block_big env body with Continue_exn -> ());
+        continue := not (Bitvec.is_zero (eval env c))
+      done
+    with Break_exn -> ())
+  | For (init, cond, stepper, body) ->
+    let scope = Hashtbl.create 4 in
+    env.scopes <- scope :: env.scopes;
+    let saved_sp = env.store.sp in
+    let finish () =
+      env.scopes <- List.tl env.scopes;
+      env.store.sp <- saved_sp
+    in
+    (try
+       (match init with None -> () | Some st -> exec_big env st);
+       let test () =
+         match cond with
+         | None -> true
+         | Some c -> not (Bitvec.is_zero (eval env c))
+       in
+       (try
+          while test () do
+            step env;
+            (try exec_block_big env body with Continue_exn -> ());
+            match stepper with None -> () | Some e -> ignore (eval env e)
+          done
+        with Break_exn -> ());
+       finish ()
+     with exn ->
+       finish ();
+       raise exn)
+  | Return None -> raise (Return_value None)
+  | Return (Some e) -> raise (Return_value (Some (eval env e)))
+  | Break -> raise Break_exn
+  | Continue -> raise Continue_exn
+  | Block body -> exec_block_big env body
+  | Par _ | Chan_send _ ->
+    error "par/channel operation inside an expression-context call"
+  | Delay -> () (* untimed semantics: delay is a no-op *)
+  | Constrain (_, _, body) ->
+    (* Timing constraints do not change the software semantics. *)
+    exec_block_big env body
+
+and exec_block_big env body =
+  let scope = Hashtbl.create 4 in
+  env.scopes <- scope :: env.scopes;
+  let saved_sp = env.store.sp in
+  Fun.protect
+    ~finally:(fun () ->
+      env.scopes <- List.tl env.scopes;
+      env.store.sp <- saved_sp)
+    (fun () -> List.iter (exec_big env) body)
+
+(* --- the thread machine for the entry function --- *)
+
+type item =
+  | I_stmt of Ast.stmt
+  | I_end_scope
+  | I_loop_end
+  | I_while_retest of Ast.expr * Ast.block
+  | I_dowhile_retest of Ast.block * Ast.expr
+  | I_for_test of Ast.expr option * Ast.expr option * Ast.block
+  | I_for_step of Ast.expr option * Ast.expr option * Ast.block
+  | I_join_signal of join
+
+and join = { mutable remaining : int; joiner : thread }
+
+and blocked =
+  | Runnable
+  | Blocked_send of string * Bitvec.t
+  | Blocked_recv of string * (Bitvec.t -> unit)
+  | Blocked_join
+
+and thread = {
+  tid : int;
+  mutable cont : item list;
+  mutable tenv : scope list;
+  mutable state : blocked;
+}
+
+type machine = {
+  env : env;
+  mutable threads : thread list; (* in creation order *)
+  mutable next_tid : int;
+  mutable return_value : Bitvec.t option option; (* Some: entry returned *)
+}
+
+let spawn machine cont scopes =
+  let t = { tid = machine.next_tid; cont; tenv = scopes; state = Runnable } in
+  machine.next_tid <- machine.next_tid + 1;
+  machine.threads <- machine.threads @ [ t ];
+  t
+
+let with_env machine thread f =
+  let saved = machine.env.scopes in
+  machine.env.scopes <- thread.tenv;
+  Fun.protect
+    ~finally:(fun () -> machine.env.scopes <- saved)
+    (fun () -> f machine.env)
+
+(* Pop continuation items until the predicate holds, popping scopes on the
+   way (used by break/continue). *)
+let rec unwind_until thread pred =
+  match thread.cont with
+  | [] -> error "break/continue with no enclosing loop in thread"
+  | item :: rest ->
+    if pred item then ()
+    else begin
+      (match item with
+      | I_end_scope -> thread.tenv <- List.tl thread.tenv
+      | I_stmt _ | I_loop_end | I_while_retest _ | I_dowhile_retest _
+      | I_for_test _ | I_for_step _ | I_join_signal _ -> ());
+      thread.cont <- rest;
+      unwind_until thread pred
+    end
+
+(* Open a scope now and return the items that execute [body] then close it. *)
+let scoped_items thread body after =
+  thread.tenv <- Hashtbl.create 4 :: thread.tenv;
+  List.map (fun s -> I_stmt s) body @ (I_end_scope :: after)
+
+(* A receive can appear as a bare expression statement, as the rhs of an
+   assignment, or as a declaration initializer (possibly behind the cast
+   inserted by the type checker). *)
+let as_recv (e : Ast.expr) =
+  match e.e with
+  | Ast.Chan_recv ch -> Some (ch, None)
+  | Ast.Cast (ty, { e = Ast.Chan_recv ch; _ }) -> Some (ch, Some ty)
+  | Ast.Const _ | Ast.Var _ | Ast.Unop _ | Ast.Binop _ | Ast.Assign _
+  | Ast.Cond _ | Ast.Call _ | Ast.Index _ | Ast.Deref _ | Ast.Addr_of _
+  | Ast.Cast _ -> None
+
+let convert_received ty v =
+  match ty with
+  | None -> v
+  | Some ty -> Bitvec.resize ~signed:true ~width:(declared_width ty) v
+
+(* Try to complete a rendezvous on channel [ch]: pairs the earliest blocked
+   sender with the earliest blocked receiver. *)
+let try_rendezvous machine ch =
+  let find pred = List.find_opt pred machine.threads in
+  let sender =
+    find (fun t ->
+        match t.state with
+        | Blocked_send (c, _) -> String.equal c ch
+        | Runnable | Blocked_recv _ | Blocked_join -> false)
+  and receiver =
+    find (fun t ->
+        match t.state with
+        | Blocked_recv (c, _) -> String.equal c ch
+        | Runnable | Blocked_send _ | Blocked_join -> false)
+  in
+  match (sender, receiver) with
+  | Some s, Some r -> (
+    match (s.state, r.state) with
+    | Blocked_send (_, v), Blocked_recv (_, deliver) ->
+      deliver v;
+      s.state <- Runnable;
+      r.state <- Runnable
+    | (Runnable | Blocked_send _ | Blocked_recv _ | Blocked_join), _ -> ())
+  | (Some _ | None), (Some _ | None) -> ()
+
+let rec exec_item machine thread =
+  match thread.cont with
+  | [] -> ()
+  | item :: rest ->
+    thread.cont <- rest;
+    step machine.env;
+    let eval_in e = with_env machine thread (fun env -> eval env e) in
+    (match item with
+    | I_end_scope -> thread.tenv <- List.tl thread.tenv
+    | I_loop_end -> ()
+    | I_while_retest (c, body) ->
+      if not (Bitvec.is_zero (eval_in c)) then
+        thread.cont <-
+          scoped_items thread body (I_while_retest (c, body) :: thread.cont)
+    | I_dowhile_retest (body, c) ->
+      if not (Bitvec.is_zero (eval_in c)) then
+        thread.cont <-
+          scoped_items thread body (I_dowhile_retest (body, c) :: thread.cont)
+    | I_for_test (cond, stepper, body) ->
+      let continue =
+        match cond with
+        | None -> true
+        | Some c -> not (Bitvec.is_zero (eval_in c))
+      in
+      if continue then
+        thread.cont <-
+          scoped_items thread body
+            (I_for_step (cond, stepper, body) :: thread.cont)
+    | I_for_step (cond, stepper, body) ->
+      (match stepper with None -> () | Some e -> ignore (eval_in e));
+      thread.cont <- I_for_test (cond, stepper, body) :: thread.cont
+    | I_join_signal j ->
+      j.remaining <- j.remaining - 1;
+      if j.remaining = 0 && j.joiner.state = Blocked_join then
+        j.joiner.state <- Runnable
+    | I_stmt st -> exec_thread_stmt machine thread st)
+
+and exec_thread_stmt machine thread (st : Ast.stmt) =
+  let eval_in e = with_env machine thread (fun env -> eval env e) in
+  match st.s with
+  | Expr e when as_recv e <> None ->
+    let ch, _ = Option.get (as_recv e) in
+    thread.state <- Blocked_recv (ch, fun _ -> ());
+    try_rendezvous machine ch
+  | Expr { e = Ast.Assign (lhs, rhs); _ } when as_recv rhs <> None ->
+    let ch, cast = Option.get (as_recv rhs) in
+    let deliver v =
+      with_env machine thread (fun env ->
+          let addr = eval_lvalue env lhs in
+          store_word env.store addr (convert_received cast v))
+    in
+    thread.state <- Blocked_recv (ch, deliver);
+    try_rendezvous machine ch
+  | Expr e -> ignore (eval_in e)
+  | Decl (ty, name, init) ->
+    with_env machine thread (fun env ->
+        let addr = alloc env.store (max 1 (Ctypes.word_count ty)) in
+        (match thread.tenv with
+        | scope :: _ -> Hashtbl.replace scope name (addr, ty)
+        | [] -> error "no scope in thread");
+        match init with
+        | Some e when as_recv e <> None ->
+          let ch, cast = Option.get (as_recv e) in
+          thread.state <-
+            Blocked_recv
+              (ch, fun v -> store_word env.store addr (convert_received cast v));
+          try_rendezvous machine ch
+        | None -> ()
+        | Some e -> store_word env.store addr (eval env e))
+  | If (c, t, f) ->
+    if Bitvec.is_zero (eval_in c) then
+      thread.cont <- scoped_items thread f thread.cont
+    else thread.cont <- scoped_items thread t thread.cont
+  | While (c, body) ->
+    thread.cont <- I_while_retest (c, body) :: I_loop_end :: thread.cont
+  | Do_while (body, c) ->
+    thread.cont <-
+      scoped_items thread body
+        (I_dowhile_retest (body, c) :: I_loop_end :: thread.cont)
+  | For (init, cond, stepper, body) ->
+    thread.tenv <- Hashtbl.create 4 :: thread.tenv;
+    thread.cont <-
+      (match init with None -> [] | Some st -> [ I_stmt st ])
+      @ I_for_test (cond, stepper, body)
+        :: I_loop_end :: I_end_scope :: thread.cont
+  | Return value ->
+    let v = Option.map eval_in value in
+    machine.return_value <- Some v;
+    thread.cont <- []
+  | Break ->
+    unwind_until thread (function
+      | I_loop_end -> true
+      | I_stmt _ | I_end_scope | I_while_retest _ | I_dowhile_retest _
+      | I_for_test _ | I_for_step _ | I_join_signal _ -> false);
+    (match thread.cont with
+    | I_loop_end :: rest -> thread.cont <- rest
+    | _ -> ())
+  | Continue ->
+    unwind_until thread (function
+      | I_while_retest _ | I_dowhile_retest _ | I_for_step _ -> true
+      | I_stmt _ | I_end_scope | I_loop_end | I_for_test _ | I_join_signal _
+        -> false)
+  | Block body -> thread.cont <- scoped_items thread body thread.cont
+  | Par branches ->
+    let j = { remaining = List.length branches; joiner = thread } in
+    List.iter
+      (fun branch ->
+        ignore
+          (spawn machine
+             (List.map (fun s -> I_stmt s) branch @ [ I_join_signal j ])
+             (Hashtbl.create 4 :: thread.tenv)))
+      branches;
+    if j.remaining > 0 then thread.state <- Blocked_join
+  | Chan_send (ch, e) ->
+    let v = eval_in e in
+    thread.state <- Blocked_send (ch, v);
+    try_rendezvous machine ch
+  | Delay -> () (* untimed: a delay is just a yield *)
+  | Constrain (_, _, body) ->
+    thread.cont <- scoped_items thread body thread.cont
+
+let run_machine machine entry_thread =
+  let finished t = t.cont = [] in
+  let runnable t = t.state = Runnable && not (finished t) in
+  let rec loop () =
+    if machine.return_value <> None || finished entry_thread then ()
+    else begin
+      let snapshot = machine.threads in
+      let ran = ref false in
+      List.iter
+        (fun t ->
+          if machine.return_value = None && runnable t then begin
+            ran := true;
+            exec_item machine t
+          end)
+        snapshot;
+      machine.threads <-
+        List.filter
+          (fun t -> (not (finished t)) || t == entry_thread)
+          machine.threads;
+      if (not !ran) && machine.return_value = None
+         && not (finished entry_thread)
+      then raise Deadlock;
+      loop ()
+    end
+  in
+  loop ()
+
+type outcome = {
+  return_value : Bitvec.t option;
+  steps : int;
+  final_store : store;
+}
+
+let allocate_globals store (program : Ast.program) =
+  List.iter
+    (fun (g : Ast.global) ->
+      let words = max 1 (Ctypes.word_count g.g_ty) in
+      let base = alloc store words in
+      Hashtbl.replace store.globals g.g_name (base, g.g_ty);
+      let elem_width =
+        match g.g_ty with
+        | Ctypes.Array (elt, _) -> declared_width elt
+        | ty -> declared_width ty
+      in
+      for i = 0 to words - 1 do
+        store.mem.(base + i) <- Bitvec.zero elem_width
+      done;
+      match g.g_init with
+      | None -> ()
+      | Some values ->
+        List.iteri
+          (fun i v ->
+            if i < words then
+              store.mem.(base + i) <- Bitvec.of_int64 ~width:elem_width v)
+          values)
+    program.globals
+
+(** Run [entry] with scalar [args]; the program must already be
+    type-checked.  [fuel] bounds the number of interpreter steps. *)
+let run ?(fuel = 10_000_000) (program : Ast.program) ~entry ~args : outcome =
+  let func =
+    match Ast.find_func program entry with
+    | Some f -> f
+    | None -> error "entry function %s not found" entry
+  in
+  let store =
+    { mem = Array.make 1024 (Bitvec.zero 1); sp = 0;
+      globals = Hashtbl.create 16; heap_next = heap_base }
+  in
+  allocate_globals store program;
+  let env = { store; program; scopes = []; steps = 0; fuel } in
+  if List.length args <> List.length func.f_params then
+    error "%s expects %d arguments, got %d" entry
+      (List.length func.f_params) (List.length args);
+  let frame : scope = Hashtbl.create 8 in
+  List.iter2
+    (fun (ty, name) v ->
+      let ty =
+        match ty with Ctypes.Array (elt, _) -> Ctypes.Pointer elt | t -> t
+      in
+      let addr = alloc store 1 in
+      store_word store addr
+        (Bitvec.resize ~signed:true ~width:(declared_width ty) v);
+      Hashtbl.replace frame name (addr, ty))
+    func.f_params args;
+  let machine = { env; threads = []; next_tid = 0; return_value = None } in
+  let entry_thread =
+    spawn machine (List.map (fun s -> I_stmt s) func.f_body) [ frame ]
+  in
+  run_machine machine entry_thread;
+  { return_value =
+      (match machine.return_value with Some v -> v | None -> None);
+    steps = env.steps;
+    final_store = store }
+
+(** Read a scalar global after a run. *)
+let read_global outcome name =
+  match Hashtbl.find_opt outcome.final_store.globals name with
+  | Some (addr, _) -> outcome.final_store.mem.(addr)
+  | None -> error "no global %s" name
+
+(** Read an array global after a run. *)
+let read_global_array outcome name =
+  match Hashtbl.find_opt outcome.final_store.globals name with
+  | Some (addr, Ctypes.Array (_, n)) ->
+    Array.init n (fun i -> outcome.final_store.mem.(addr + i))
+  | Some _ -> error "%s is not an array" name
+  | None -> error "no global %s" name
+
+(** Convenience wrapper: parse, check, run, and return the entry function's
+    result as an int. *)
+let run_int ?fuel src ~entry ~args =
+  let program = Typecheck.parse_and_check src in
+  let args = List.map (fun n -> Bitvec.of_int ~width:64 n) args in
+  let outcome = run ?fuel program ~entry ~args in
+  match outcome.return_value with
+  | Some v -> Bitvec.to_int v
+  | None -> error "%s returned no value" entry

@@ -1,0 +1,91 @@
+(** Reference interpreter: the *software semantics* of the CHLS language,
+    and the oracle every hardware backend is tested against.
+
+    Deliberately untimed — the paper: time is absent from the C
+    programming model; it guarantees causality but says nothing about
+    execution time — so [steps] is a work measure, never clock cycles.
+    Expressions evaluate big-step; statements run on a small-step thread
+    machine so [par] branches interleave (round-robin) and rendezvous
+    channels block; deadlock is detected.
+
+    The lower half of this interface (store/env/eval) is the shared
+    expression-semantics surface the Handel-C statement machine builds
+    its cycle-accurate simulator on. *)
+
+exception Runtime_error of string
+exception Deadlock
+exception Timeout
+
+(** {1 The word-addressed store} *)
+
+type store = {
+  mutable mem : Bitvec.t array;
+  mutable sp : int;  (** next free stack word *)
+  globals : (string, int * Ctypes.t) Hashtbl.t;
+  mutable heap_next : int;  (** malloc bump pointer, above the stack *)
+}
+
+val heap_base : int
+(** The stack lives in [0, heap_base); malloc carves from [heap_base, _).
+    Disjointness means returning from a function never invalidates heap
+    storage. *)
+
+val alloc : store -> int -> int
+(** Allocate stack words; returns the base address.
+    @raise Runtime_error on stack overflow. *)
+
+val load : store -> int -> Bitvec.t
+val store_word : store -> int -> Bitvec.t -> unit
+
+val allocate_globals : store -> Ast.program -> unit
+
+(** {1 Environments} *)
+
+type scope = (string, int * Ctypes.t) Hashtbl.t
+
+type env = {
+  store : store;
+  program : Ast.program;
+  mutable scopes : scope list;
+  mutable steps : int;
+  fuel : int;
+}
+
+val declared_width : Ctypes.t -> int
+
+(** {1 Expression semantics (shared with the Handel-C machine)} *)
+
+val eval : env -> Ast.expr -> Bitvec.t
+(** Big-step evaluation.  Calls are executed recursively (the callee must
+    be sequential); [recv] in expression context is a runtime error. *)
+
+val eval_lvalue : env -> Ast.expr -> int
+(** The address of an lvalue. *)
+
+val as_recv : Ast.expr -> (string * Ctypes.t option) option
+(** Recognize the statement-position receive forms: a bare [recv(c)] or
+    one behind the cast the type checker inserts. *)
+
+val convert_received : Ctypes.t option -> Bitvec.t -> Bitvec.t
+
+(** {1 Running programs} *)
+
+type outcome = {
+  return_value : Bitvec.t option;
+  steps : int;  (** statement steps executed: the untimed work metric *)
+  final_store : store;
+}
+
+val run :
+  ?fuel:int -> Ast.program -> entry:string -> args:Bitvec.t list -> outcome
+(** Run [entry] on a type-checked program.
+    @raise Runtime_error on semantic errors (wild pointers, out-of-bounds
+    accesses, undefined functions),
+    @raise Deadlock when no thread can make progress,
+    @raise Timeout when [fuel] (default 10M steps) is exhausted. *)
+
+val read_global : outcome -> string -> Bitvec.t
+val read_global_array : outcome -> string -> Bitvec.t array
+
+val run_int : ?fuel:int -> string -> entry:string -> args:int list -> int
+(** Parse, check, run; the entry function's result as an int. *)

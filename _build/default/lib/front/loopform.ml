@@ -1,0 +1,109 @@
+(* Recognition of statically bounded counting loops.
+
+   Several places need to know whether a for loop has a compile-time trip
+   count: the Cones backend must fully unroll every loop, the loop
+   unroller needs the bounds, and the dialect checker rejects unbounded
+   loops where the language does.  The recognized shape is
+
+     for (<ty> i = C0; i <relop> C1; i = i + C2)   (or i = i - C2)
+
+   with constant C0, C1, C2 and no assignment to [i] in the loop body
+   (the caller checks the body separately when it matters). *)
+
+type bounds = {
+  var : string;
+  start : int;
+  relop : Ast.binop;
+  limit : int;
+  step : int; (* signed increment per iteration *)
+}
+
+let const_value (e : Ast.expr) =
+  match e.e with
+  | Ast.Const (v, _) -> Some (Int64.to_int v)
+  | Ast.Unop (Ast.Neg, { e = Ast.Const (v, _); _ }) ->
+    Some (-Int64.to_int v)
+  | Ast.Cast (_, { e = Ast.Const (v, _); _ }) -> Some (Int64.to_int v)
+  | Ast.Var _ | Ast.Unop _ | Ast.Binop _ | Ast.Assign _ | Ast.Cond _
+  | Ast.Call _ | Ast.Index _ | Ast.Deref _ | Ast.Addr_of _ | Ast.Cast _
+  | Ast.Chan_recv _ -> None
+
+(* Strip the casts the type checker inserts. *)
+let rec strip (e : Ast.expr) =
+  match e.e with Ast.Cast (_, inner) -> strip inner | _ -> e
+
+let recognize ~init ~cond ~step : bounds option =
+  let open Ast in
+  let var_and_start =
+    match init with
+    | Some { s = Decl (_, name, Some e); _ } ->
+      Option.map (fun v -> (name, v)) (const_value (strip e))
+    | Some { s = Expr { e = Assign ({ e = Var name; _ }, e); _ }; _ } ->
+      Option.map (fun v -> (name, v)) (const_value (strip e))
+    | Some _ | None -> None
+  in
+  match var_and_start with
+  | None -> None
+  | Some (var, start) -> (
+    let limit =
+      match cond with
+      | Some { e = Binop ((Lt | Le | Gt | Ge | Ne) as relop, l, r); _ } -> (
+        match ((strip l).e, const_value (strip r)) with
+        | Var name, Some v when String.equal name var -> Some (relop, v)
+        | _ -> None)
+      | Some _ | None -> None
+    in
+    let increment =
+      match step with
+      | Some { e = Assign ({ e = Var name; _ }, rhs); _ }
+        when String.equal name var -> (
+        match (strip rhs).e with
+        | Binop (Add, l, r) -> (
+          match ((strip l).e, const_value (strip r)) with
+          | Var n, Some v when String.equal n var -> Some v
+          | _ -> None)
+        | Binop (Sub, l, r) -> (
+          match ((strip l).e, const_value (strip r)) with
+          | Var n, Some v when String.equal n var -> Some (-v)
+          | _ -> None)
+        | _ -> None)
+      | Some _ | None -> None
+    in
+    match (limit, increment) with
+    | Some (relop, limit), Some step when step <> 0 ->
+      Some { var; start; relop; limit; step }
+    | _ -> None)
+
+(** Trip count of a recognized loop, if it terminates. *)
+let trip_count b =
+  let open Ast in
+  let count_up lo hi inclusive =
+    let span = hi - lo + (if inclusive then 1 else 0) in
+    if span <= 0 then Some 0 else Some ((span + b.step - 1) / b.step)
+  in
+  let count_down hi lo inclusive =
+    let span = hi - lo + (if inclusive then 1 else 0) in
+    let s = -b.step in
+    if span <= 0 then Some 0 else Some ((span + s - 1) / s)
+  in
+  match b.relop with
+  | Lt when b.step > 0 -> count_up b.start b.limit false
+  | Le when b.step > 0 -> count_up b.start b.limit true
+  | Gt when b.step < 0 -> count_down b.start b.limit false
+  | Ge when b.step < 0 -> count_down b.start b.limit true
+  | Ne when b.step = 1 && b.limit >= b.start -> Some (b.limit - b.start)
+  | Ne when b.step = -1 && b.limit <= b.start -> Some (b.start - b.limit)
+  | Lt | Le | Gt | Ge | Ne -> None
+  | Add | Sub | Mul | Div | Mod | Band | Bor | Bxor | Shl | Shr | Eq
+  | Log_and | Log_or -> None
+
+let is_statically_bounded ~init ~cond ~step =
+  match recognize ~init ~cond ~step with
+  | None -> false
+  | Some b -> trip_count b <> None
+
+(** Values taken by the induction variable, in iteration order. *)
+let iteration_values b =
+  match trip_count b with
+  | None -> None
+  | Some n -> Some (List.init n (fun i -> b.start + (i * b.step)))

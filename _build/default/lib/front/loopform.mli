@@ -1,0 +1,28 @@
+(** Recognition of statically bounded counting loops of the shape
+
+    {[ for (<ty> i = C0; i <relop> C1; i = i +/- C2) ]}
+
+    used by the Cones unroller, the source-level loop transforms, and the
+    dialect checker's bounded-loop rules. *)
+
+type bounds = {
+  var : string;
+  start : int;
+  relop : Ast.binop;
+  limit : int;
+  step : int;  (** signed increment per iteration *)
+}
+
+val recognize :
+  init:Ast.stmt option -> cond:Ast.expr option -> step:Ast.expr option ->
+  bounds option
+
+val trip_count : bounds -> int option
+(** Number of iterations, when the loop provably terminates. *)
+
+val is_statically_bounded :
+  init:Ast.stmt option -> cond:Ast.expr option -> step:Ast.expr option ->
+  bool
+
+val iteration_values : bounds -> int list option
+(** Values taken by the induction variable, in iteration order. *)

@@ -1,0 +1,16 @@
+(** Recursive-descent parser for the CHLS C-like language.
+
+    Standard C expression grammar (precedence climbing) and C89-style
+    declarations restricted to what the surveyed languages need, plus the
+    hardware-extension statements.  Compound assignments and [++]/[--]
+    are desugared to plain assignments (pre-increment value semantics,
+    documented in README). *)
+
+exception Error of string * Ast.loc
+
+val parse_program : string -> Ast.program
+(** Parse a complete translation unit.
+    @raise Error (or {!Lexer.Error}) on malformed input. *)
+
+val parse_expression : string -> Ast.expr
+(** Parse a single expression (tests and tooling). *)

@@ -1,0 +1,353 @@
+(* Type checker / elaborator.
+
+   Checks a parsed program and returns an elaborated copy in which every
+   expression carries its type and every implicit C conversion (integer
+   promotion, usual arithmetic conversion, assignment conversion) has been
+   made explicit as a [Cast] node.  Downstream lowering can then translate
+   operators width-for-width without re-deriving C's conversion rules. *)
+
+open Ast (* record fields of Ast.expr/Ast.stmt are used pervasively *)
+
+exception Error of string * Ast.loc
+
+let fail loc fmt = Printf.ksprintf (fun msg -> raise (Error (msg, loc))) fmt
+
+type env = {
+  program : Ast.program;
+  scopes : (string, Ctypes.t) Hashtbl.t list; (* innermost first *)
+  current : Ast.func;
+  in_loop : bool;
+}
+
+let lookup env name =
+  let rec go = function
+    | [] -> None
+    | scope :: rest -> (
+      match Hashtbl.find_opt scope name with
+      | Some t -> Some t
+      | None -> go rest)
+  in
+  go env.scopes
+
+let bind env loc name ty =
+  match env.scopes with
+  | scope :: _ ->
+    if Hashtbl.mem scope name then fail loc "redeclaration of %s" name;
+    Hashtbl.replace scope name ty
+  | [] -> assert false
+
+let push_scope env = { env with scopes = Hashtbl.create 8 :: env.scopes }
+
+(* Builtins available without declaration.  [malloc] returns a pointer to
+   words (C2Verilog is the only dialect that accepts it; the others reject
+   the resulting pointer type). *)
+let builtin_signature = function
+  | "malloc" -> Some (Ctypes.Pointer Ctypes.int_t, [ Ctypes.int_t ])
+  | _ -> None
+
+let func_signature env loc name =
+  match Ast.find_func env.program name with
+  | Some f -> (f.f_ret, List.map fst f.f_params)
+  | None -> (
+    match builtin_signature name with
+    | Some signature -> signature
+    | None -> fail loc "call to undefined function %s" name)
+
+let chan_type env loc name =
+  match Ast.find_chan env.program name with
+  | Some c -> c.c_ty
+  | None -> fail loc "undeclared channel %s" name
+
+(** Insert a conversion cast if [e] does not already have type [ty].
+    Conversion to [bool] follows C11 _Bool semantics (any nonzero value
+    becomes 1), desugared to an explicit [!= 0] so every downstream layer
+    — interpreter, CIR, netlists — inherits it without special cases. *)
+let coerce loc ty (e : Ast.expr) =
+  if Ctypes.equal e.ty ty then e
+  else begin
+    if not (Ctypes.is_scalar ty && Ctypes.is_scalar (Ctypes.decay e.ty)) then
+      fail loc "cannot convert %s to %s" (Ctypes.to_string e.ty)
+        (Ctypes.to_string ty);
+    match ty with
+    | Ctypes.Integer { kind = Ctypes.Bool; _ } ->
+      let zero =
+        { Ast.e = Ast.Const (0L, e.ty); ty = e.ty; eloc = loc }
+      in
+      let test =
+        { Ast.e = Ast.Binop (Ast.Ne, e, zero); ty = Ctypes.int_t; eloc = loc }
+      in
+      { Ast.e = Ast.Cast (ty, test); ty; eloc = loc }
+    | Ctypes.Void | Ctypes.Integer _ | Ctypes.Pointer _ | Ctypes.Array _
+    | Ctypes.Function _ -> { Ast.e = Ast.Cast (ty, e); ty; eloc = loc }
+  end
+
+let is_lvalue (e : Ast.expr) =
+  match e.e with
+  | Var _ | Index _ | Deref _ -> true
+  | Const _ | Unop _ | Binop _ | Assign _ | Cond _ | Call _ | Addr_of _
+  | Cast _ | Chan_recv _ -> false
+
+let rec check_expr env (e : Ast.expr) : Ast.expr =
+  let loc = e.eloc in
+  let ret desc ty : Ast.expr = { Ast.e = desc; ty; eloc = loc } in
+  match e.e with
+  | Const (v, ty) -> ret (Ast.Const (v, ty)) ty
+  | Var name -> (
+    match lookup env name with
+    | Some ty -> ret (Ast.Var name) ty
+    | None -> (
+      match Ast.find_global env.program name with
+      | Some g -> ret (Ast.Var name) g.g_ty
+      | None -> fail loc "undeclared variable %s" name))
+  | Unop (Ast.Log_not, a) ->
+    let a = rvalue env a in
+    if not (Ctypes.is_scalar a.ty) then fail loc "! needs a scalar operand";
+    ret (Ast.Unop (Ast.Log_not, a)) Ctypes.int_t
+  | Unop (op, a) ->
+    let a = rvalue env a in
+    if not (Ctypes.is_integer a.ty) then
+      fail loc "%s needs an integer operand" (Ast.string_of_unop op);
+    let ty = Ctypes.promote a.ty in
+    let a = coerce loc ty a in
+    ret (Ast.Unop (op, a)) ty
+  | Binop ((Ast.Log_and | Ast.Log_or) as op, a, b) ->
+    let a = rvalue env a and b = rvalue env b in
+    if not (Ctypes.is_scalar a.ty && Ctypes.is_scalar b.ty) then
+      fail loc "%s needs scalar operands" (Ast.string_of_binop op);
+    ret (Ast.Binop (op, a, b)) Ctypes.int_t
+  | Binop ((Ast.Shl | Ast.Shr) as op, a, b) ->
+    let a = rvalue env a and b = rvalue env b in
+    if not (Ctypes.is_integer a.ty && Ctypes.is_integer b.ty) then
+      fail loc "shift needs integer operands";
+    let ty = Ctypes.promote a.ty in
+    let a = coerce loc ty a and b = coerce loc (Ctypes.promote b.ty) b in
+    ret (Ast.Binop (op, a, b)) ty
+  | Binop ((Ast.Eq | Ast.Ne | Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge) as op, a, b)
+    ->
+    let a = rvalue env a and b = rvalue env b in
+    let a, b = converge loc a b in
+    ret (Ast.Binop (op, a, b)) Ctypes.int_t
+  | Binop (op, a, b) ->
+    (* Check each operand exactly once (re-checking inside a guard would
+       make the checker exponential in expression depth), then dispatch
+       on pointer arithmetic. *)
+    let a = rvalue env a and b = rvalue env b in
+    if
+      (op = Ast.Add || op = Ast.Sub)
+      && (Ctypes.is_pointer a.ty || Ctypes.is_pointer b.ty)
+    then check_pointer_arith loc op a b
+    else begin
+      if not (Ctypes.is_integer a.ty && Ctypes.is_integer b.ty) then
+        fail loc "%s needs integer operands (got %s, %s)"
+          (Ast.string_of_binop op) (Ctypes.to_string a.ty)
+          (Ctypes.to_string b.ty);
+      let ty = Ctypes.arithmetic_conversion a.ty b.ty in
+      ret (Ast.Binop (op, coerce loc ty a, coerce loc ty b)) ty
+    end
+  | Assign (lhs, rhs) ->
+    let lhs = check_expr env lhs in
+    if not (is_lvalue lhs) then fail loc "assignment to non-lvalue";
+    if not (Ctypes.is_scalar lhs.ty) then
+      fail loc "assignment to non-scalar %s" (Ctypes.to_string lhs.ty);
+    let rhs = coerce loc lhs.ty (rvalue env rhs) in
+    ret (Ast.Assign (lhs, rhs)) lhs.ty
+  | Cond (c, t, f) ->
+    let c = rvalue env c in
+    if not (Ctypes.is_scalar c.ty) then fail loc "?: needs a scalar condition";
+    let t = rvalue env t and f = rvalue env f in
+    let t, f = converge loc t f in
+    ret (Ast.Cond (c, t, f)) t.ty
+  | Call (name, args) ->
+    let ret_ty, param_tys = func_signature env loc name in
+    if List.length args <> List.length param_tys then
+      fail loc "%s expects %d arguments, got %d" name (List.length param_tys)
+        (List.length args);
+    let args =
+      List.map2
+        (fun arg pty ->
+          let arg = rvalue env arg in
+          match (pty, arg.Ast.ty) with
+          | Ctypes.Pointer pe, Ctypes.Pointer ae when Ctypes.equal pe ae ->
+            arg
+          | Ctypes.Array (pe, _), Ctypes.Pointer ae when Ctypes.equal pe ae ->
+            arg
+          | (Ctypes.Array (pe, _) | Ctypes.Pointer pe), Ctypes.Array (ae, _)
+            when Ctypes.equal pe ae -> arg
+          | _ -> coerce loc pty arg)
+        args param_tys
+    in
+    ret (Ast.Call (name, args)) ret_ty
+  | Index (base, idx) ->
+    let base = check_expr env base in
+    let idx = coerce loc Ctypes.int_t (rvalue env idx) in
+    let elt =
+      match Ctypes.decay base.ty with
+      | Ctypes.Pointer elt -> elt
+      | ty -> fail loc "cannot index %s" (Ctypes.to_string ty)
+    in
+    ret (Ast.Index (base, idx)) elt
+  | Deref a ->
+    let a = rvalue env a in
+    (match a.ty with
+    | Ctypes.Pointer elt -> ret (Ast.Deref a) elt
+    | ty -> fail loc "cannot dereference %s" (Ctypes.to_string ty))
+  | Addr_of a ->
+    let a = check_expr env a in
+    if not (is_lvalue a) then fail loc "& needs an lvalue";
+    ret (Ast.Addr_of a) (Ctypes.Pointer a.ty)
+  | Cast (ty, a) ->
+    let a = rvalue env a in
+    if not (Ctypes.is_scalar ty && Ctypes.is_scalar a.ty) then
+      fail loc "invalid cast from %s to %s" (Ctypes.to_string a.ty)
+        (Ctypes.to_string ty);
+    (* explicit (bool)e also takes the != 0 semantics *)
+    (match ty with
+    | Ctypes.Integer { kind = Ctypes.Bool; _ } when not (Ctypes.equal a.ty ty)
+      -> coerce loc ty a
+    | Ctypes.Void | Ctypes.Integer _ | Ctypes.Pointer _ | Ctypes.Array _
+    | Ctypes.Function _ -> ret (Ast.Cast (ty, a)) ty)
+  | Chan_recv ch -> ret (Ast.Chan_recv ch) (chan_type env loc ch)
+
+(* Check as an rvalue: arrays decay to pointers. *)
+and rvalue env e =
+  let e = check_expr env e in
+  match e.ty with
+  | Ctypes.Array (elt, _) -> { e with ty = Ctypes.Pointer elt }
+  | Ctypes.Void | Ctypes.Integer _ | Ctypes.Pointer _ | Ctypes.Function _ -> e
+
+(* Bring two integer (or pointer) operands to a common type. *)
+and converge loc a b =
+  match (a.Ast.ty, b.Ast.ty) with
+  | Ctypes.Pointer _, Ctypes.Pointer _ -> (a, b)
+  | ta, tb when Ctypes.is_integer ta && Ctypes.is_integer tb ->
+    let ty = Ctypes.arithmetic_conversion ta tb in
+    (coerce loc ty a, coerce loc ty b)
+  | ta, tb ->
+    fail loc "incompatible operand types %s and %s" (Ctypes.to_string ta)
+      (Ctypes.to_string tb)
+
+and check_pointer_arith loc op a b =
+  (* operands are already checked rvalues *)
+  match (a.ty, b.ty, op) with
+  | Ctypes.Pointer _, Ctypes.Pointer _, Ast.Sub ->
+    { Ast.e = Ast.Binop (Ast.Sub, a, b); ty = Ctypes.int_t; eloc = loc }
+  | Ctypes.Pointer _, ti, (Ast.Add | Ast.Sub) when Ctypes.is_integer ti ->
+    let b = coerce loc Ctypes.int_t b in
+    { Ast.e = Ast.Binop (op, a, b); ty = a.ty; eloc = loc }
+  | ti, Ctypes.Pointer _, Ast.Add when Ctypes.is_integer ti ->
+    let a = coerce loc Ctypes.int_t a in
+    { Ast.e = Ast.Binop (op, b, a); ty = b.ty; eloc = loc }
+  | ta, tb, _ ->
+    fail loc "invalid pointer arithmetic on %s and %s" (Ctypes.to_string ta)
+      (Ctypes.to_string tb)
+
+let rec check_stmt env (st : Ast.stmt) : Ast.stmt =
+  let loc = st.sloc in
+  let ret desc : Ast.stmt = { Ast.s = desc; sloc = loc } in
+  match st.s with
+  | Expr e -> ret (Ast.Expr (check_expr env e))
+  | Decl (ty, name, init) ->
+    (match ty with
+    | Ctypes.Void -> fail loc "void variable %s" name
+    | Ctypes.Array (_, n) when n <= 0 -> fail loc "array %s has size %d" name n
+    | Ctypes.Integer _ | Ctypes.Pointer _ | Ctypes.Array _
+    | Ctypes.Function _ -> ());
+    let init =
+      match init with
+      | None -> None
+      | Some e ->
+        if not (Ctypes.is_scalar ty) then
+          fail loc "cannot initialize aggregate %s with an expression" name;
+        Some (coerce loc ty (rvalue env e))
+    in
+    bind env loc name ty;
+    ret (Ast.Decl (ty, name, init))
+  | If (c, then_b, else_b) ->
+    let c = scalar_cond env c in
+    ret (Ast.If (c, check_block env then_b, check_block env else_b))
+  | While (c, body) ->
+    let c = scalar_cond env c in
+    ret (Ast.While (c, check_block { env with in_loop = true } body))
+  | Do_while (body, c) ->
+    let body = check_block { env with in_loop = true } body in
+    ret (Ast.Do_while (body, scalar_cond env c))
+  | For (init, cond, step, body) ->
+    let env' = push_scope env in
+    let init = Option.map (check_stmt env') init in
+    let cond = Option.map (scalar_cond env') cond in
+    let step = Option.map (check_expr env') step in
+    let body = check_block { env' with in_loop = true } body in
+    ret (Ast.For (init, cond, step, body))
+  | Return None ->
+    if not (Ctypes.equal env.current.f_ret Ctypes.Void) then
+      fail loc "return without value in %s" env.current.f_name;
+    ret (Ast.Return None)
+  | Return (Some e) ->
+    if Ctypes.equal env.current.f_ret Ctypes.Void then
+      fail loc "return with value in void function %s" env.current.f_name;
+    ret (Ast.Return (Some (coerce loc env.current.f_ret (rvalue env e))))
+  | Break ->
+    if not env.in_loop then fail loc "break outside loop";
+    ret Ast.Break
+  | Continue ->
+    if not env.in_loop then fail loc "continue outside loop";
+    ret Ast.Continue
+  | Block body -> ret (Ast.Block (check_block env body))
+  | Par branches -> ret (Ast.Par (List.map (check_block env) branches))
+  | Chan_send (ch, e) ->
+    let ty = chan_type env loc ch in
+    ret (Ast.Chan_send (ch, coerce loc ty (rvalue env e)))
+  | Delay -> ret Ast.Delay
+  | Constrain (lo, hi, body) ->
+    if lo < 0 || hi < lo then fail loc "bad constrain bounds (%d, %d)" lo hi;
+    ret (Ast.Constrain (lo, hi, check_block env body))
+
+and check_block env body =
+  let env = push_scope env in
+  List.map (check_stmt env) body
+
+and scalar_cond env e =
+  let e = rvalue env e in
+  if not (Ctypes.is_scalar e.ty) then
+    fail e.eloc "condition must be scalar, got %s" (Ctypes.to_string e.ty);
+  e
+
+let check_func program (f : Ast.func) : Ast.func =
+  let env =
+    { program;
+      scopes = [ Hashtbl.create 8 ];
+      current = f;
+      in_loop = false }
+  in
+  List.iter
+    (fun (ty, name) ->
+      match ty with
+      | Ctypes.Void -> fail Ast.no_loc "void parameter %s in %s" name f.f_name
+      | Ctypes.Integer _ | Ctypes.Pointer _ | Ctypes.Array _
+      | Ctypes.Function _ ->
+        (* Array parameters adjust to pointers, as in C. *)
+        let ty =
+          match ty with Ctypes.Array (elt, _) -> Ctypes.Pointer elt | t -> t
+        in
+        bind env Ast.no_loc name ty)
+    f.f_params;
+  { f with f_body = List.map (check_stmt env) f.f_body }
+
+(** Check and elaborate a whole program. *)
+let check_program (p : Ast.program) : Ast.program =
+  List.iter
+    (fun (g : Ast.global) ->
+      match (g.g_ty, g.g_init) with
+      | Ctypes.Void, _ -> fail Ast.no_loc "void global %s" g.g_name
+      | Ctypes.Array (_, n), Some values when List.length values > n ->
+        fail Ast.no_loc "too many initializers for %s" g.g_name
+      | (Ctypes.Integer _ | Ctypes.Pointer _), Some values
+        when List.length values <> 1 ->
+        fail Ast.no_loc "scalar global %s needs one initializer" g.g_name
+      | (Ctypes.Integer _ | Ctypes.Pointer _ | Ctypes.Array _
+        | Ctypes.Function _), _ -> ())
+    p.globals;
+  { p with funcs = List.map (check_func p) p.funcs }
+
+(** Convenience: parse then check. *)
+let parse_and_check src = check_program (Parser.parse_program src)

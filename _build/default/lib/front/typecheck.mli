@@ -1,0 +1,22 @@
+(** Type checker / elaborator.
+
+    Checks a parsed program and returns an elaborated copy in which every
+    expression carries its type and every implicit C conversion (integer
+    promotion, usual arithmetic conversion, assignment conversion) has
+    been made explicit as a [Cast] node — conversion *to* [bool] is
+    desugared to an explicit [!= 0] per C11 _Bool semantics.  Downstream
+    lowering can then translate operators width-for-width. *)
+
+exception Error of string * Ast.loc
+
+val builtin_signature : string -> (Ctypes.t * Ctypes.t list) option
+(** Builtins available without declaration (currently [malloc]). *)
+
+val check_program : Ast.program -> Ast.program
+(** Check and elaborate a whole program.
+    @raise Error on any type violation. *)
+
+val check_func : Ast.program -> Ast.func -> Ast.func
+
+val parse_and_check : string -> Ast.program
+(** Convenience: parse then check. *)

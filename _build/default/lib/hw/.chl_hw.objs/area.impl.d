@@ -1,0 +1,1 @@
+lib/hw/area.ml: Array Float Format List Netlist

@@ -1,0 +1,1 @@
+lib/hw/bitvec.ml: Format Int64 Printf

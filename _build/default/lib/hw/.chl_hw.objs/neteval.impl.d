@@ -1,0 +1,1 @@
+lib/hw/neteval.ml: Array Bitvec Hashtbl List Netlist

@@ -1,0 +1,1 @@
+lib/hw/neteval.mli: Bitvec Netlist

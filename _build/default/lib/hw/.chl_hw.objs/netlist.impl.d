@@ -1,0 +1,1 @@
+lib/hw/netlist.ml: Array Bitvec List

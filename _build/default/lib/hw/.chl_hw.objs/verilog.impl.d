@@ -1,0 +1,1 @@
+lib/hw/verilog.ml: Array Bitvec Buffer List Netlist Printf String

@@ -1,0 +1,130 @@
+(* Technology-independent area/delay model.
+
+   Area is in gate equivalents (GE, 2-input NAND = 1) and delay in unit gate
+   delays.  Arithmetic follows textbook structures: carry-lookahead adders
+   (area O(w), delay O(log w)), Wallace-tree multipliers (area O(w^2), delay
+   O(log w)), restoring dividers (area O(w^2), delay O(w log w)), barrel
+   shifters (area O(w log w)).  Absolute numbers are not calibrated to a
+   cell library; the experiments only rely on relative shape, as noted in
+   DESIGN.md. *)
+
+let log2_ceil n =
+  let rec go k p = if p >= n then k else go (k + 1) (2 * p) in
+  if n <= 1 then 0 else go 0 1
+
+let flog2 n = float_of_int (log2_ceil n)
+
+type cost = { area : float; delay : float }
+
+let wiring = { area = 0.; delay = 0. }
+
+let unop_cost op w =
+  let fw = float_of_int w in
+  match (op : Netlist.unop) with
+  | U_not -> { area = 0.5 *. fw; delay = 1. }
+  | U_neg -> { area = 7. *. fw; delay = flog2 w +. 2. }
+  | U_reduce_or -> { area = fw; delay = flog2 w +. 1. }
+
+let binop_cost op w =
+  let fw = float_of_int w in
+  match (op : Netlist.binop) with
+  | B_add | B_sub -> { area = 7. *. fw; delay = flog2 w +. 2. }
+  | B_mul -> { area = 6. *. fw *. fw; delay = (3. *. flog2 w) +. 4. }
+  | B_udiv | B_urem | B_sdiv | B_srem ->
+    { area = 10. *. fw *. fw; delay = fw *. (flog2 w +. 1.) }
+  | B_and | B_or | B_xor -> { area = fw; delay = 1. }
+  | B_shl | B_lshr | B_ashr ->
+    { area = 3. *. fw *. flog2 w; delay = flog2 w +. 1. }
+  | B_eq | B_ne -> { area = 1.5 *. fw; delay = flog2 w +. 1. }
+  | B_ult | B_ule | B_slt | B_sle -> { area = 7. *. fw; delay = flog2 w +. 2. }
+
+let register_area_per_bit = 6.
+let memory_area_per_bit = 1.
+
+let node_cost netlist signal =
+  let w_in s = Netlist.width netlist s in
+  match Netlist.node netlist signal with
+  | Const _ | Input _ -> wiring
+  | Extract _ | Zext _ | Sext _ | Concat _ -> wiring
+  | Unop (op, a) -> unop_cost op (w_in a)
+  | Binop (op, a, _) -> binop_cost op (w_in a)
+  | Mux { if_true; _ } ->
+    let fw = float_of_int (w_in if_true) in
+    { area = 3. *. fw; delay = 2. }
+  | Reg _ ->
+    let fw = float_of_int (Netlist.width netlist signal) in
+    { area = register_area_per_bit *. fw; delay = 0. }
+  | Mem_read { mem; _ } ->
+    let m = (Netlist.mems netlist).(mem) in
+    (* Address decode + word mux; the array itself is counted once below. *)
+    { area = 2. *. float_of_int m.word_width; delay = flog2 m.depth +. 2. }
+
+type report = {
+  combinational_area : float;
+  register_area : float;
+  memory_bits : int;
+  memory_area : float;
+  total_area : float;
+  critical_path : float; (* longest register-to-register comb delay *)
+  num_nodes : int;
+  num_registers : int;
+}
+
+(** Static area/timing report for a netlist.  The critical path is the
+    longest combinational delay between sequential endpoints (register or
+    memory ports, primary inputs/outputs). *)
+let analyze netlist =
+  let n = Netlist.length netlist in
+  let arrival = Array.make (max n 1) 0. in
+  let comb_area = ref 0. and reg_area = ref 0. in
+  let critical = ref 0. in
+  let observe_path d = if d > !critical then critical := d in
+  for s = 0 to n - 1 do
+    let cost = node_cost netlist s in
+    (match Netlist.node netlist s with
+    | Reg _ -> reg_area := !reg_area +. cost.area
+    | Const _ | Input _ | Unop _ | Binop _ | Mux _ | Concat _ | Extract _
+    | Zext _ | Sext _ | Mem_read _ -> comb_area := !comb_area +. cost.area);
+    let dep_arrival =
+      List.fold_left
+        (fun acc d -> Float.max acc arrival.(d))
+        0.
+        (Netlist.comb_deps (Netlist.node netlist s))
+    in
+    arrival.(s) <- dep_arrival +. cost.delay;
+    observe_path arrival.(s)
+  done;
+  (* Paths ending at register/memory-write inputs. *)
+  for s = 0 to n - 1 do
+    List.iter
+      (fun d -> if d >= 0 && d < n then observe_path arrival.(d))
+      (Netlist.sequential_deps (Netlist.node netlist s))
+  done;
+  Array.iter
+    (fun (m : Netlist.mem) ->
+      match m.write_port with
+      | None -> ()
+      | Some (we, addr, data) ->
+        List.iter (fun d -> observe_path arrival.(d)) [ we; addr; data ])
+    (Netlist.mems netlist);
+  let memory_bits =
+    Array.fold_left
+      (fun acc (m : Netlist.mem) -> acc + (m.word_width * m.depth))
+      0 (Netlist.mems netlist)
+  in
+  let memory_area = memory_area_per_bit *. float_of_int memory_bits in
+  { combinational_area = !comb_area;
+    register_area = !reg_area;
+    memory_bits;
+    memory_area;
+    total_area = !comb_area +. !reg_area +. memory_area;
+    critical_path = !critical;
+    num_nodes = n;
+    num_registers = Netlist.num_registers netlist }
+
+let pp_report fmt r =
+  Format.fprintf fmt
+    "area %.0f GE (comb %.0f, regs %.0f, mem %.0f) | critical path %.1f | \
+     %d nodes, %d regs, %d mem bits"
+    r.total_area r.combinational_area r.register_area r.memory_area
+    r.critical_path r.num_nodes r.num_registers r.memory_bits

@@ -1,0 +1,158 @@
+(* Netlist evaluator: combinational settling plus a cycle-accurate
+   sequential stepper.
+
+   Nodes are created in topological order with respect to combinational
+   dependencies (the builder API guarantees this; only register next-state
+   and memory write ports may point forward), so one in-order pass per cycle
+   settles all combinational values.  Registers and memories update between
+   cycles with read-before-write semantics. *)
+
+type t = {
+  netlist : Netlist.t;
+  values : Bitvec.t array;
+  reg_state : (int, Bitvec.t) Hashtbl.t; (* signal id -> current state *)
+  mem_state : Bitvec.t array array; (* per memory, current contents *)
+  mutable cycle : int;
+}
+
+let create netlist =
+  let n = Netlist.length netlist in
+  let reg_state = Hashtbl.create 16 in
+  for s = 0 to n - 1 do
+    match Netlist.node netlist s with
+    | Reg { init; _ } -> Hashtbl.replace reg_state s init
+    | Const _ | Input _ | Unop _ | Binop _ | Mux _ | Concat _ | Extract _
+    | Zext _ | Sext _ | Mem_read _ -> ()
+  done;
+  let mem_state =
+    Array.map
+      (fun (m : Netlist.mem) ->
+        match m.init with
+        | Some a ->
+          if Array.length a <> m.depth then
+            invalid_arg "Neteval: memory init size mismatch";
+          Array.copy a
+        | None -> Array.make m.depth (Bitvec.zero m.word_width))
+      (Netlist.mems netlist)
+  in
+  { netlist;
+    values = Array.make (max n 1) (Bitvec.zero 1);
+    reg_state;
+    mem_state;
+    cycle = 0 }
+
+let apply_unop op a =
+  match (op : Netlist.unop) with
+  | U_not -> Bitvec.lognot a
+  | U_neg -> Bitvec.neg a
+  | U_reduce_or -> Bitvec.of_bool (not (Bitvec.is_zero a))
+
+let apply_binop op a b =
+  let open Bitvec in
+  match (op : Netlist.binop) with
+  | B_add -> add a b
+  | B_sub -> sub a b
+  | B_mul -> mul a b
+  | B_udiv -> udiv a b
+  | B_urem -> urem a b
+  | B_sdiv -> sdiv a b
+  | B_srem -> srem a b
+  | B_and -> logand a b
+  | B_or -> logor a b
+  | B_xor -> logxor a b
+  | B_shl -> shl a b
+  | B_lshr -> lshr a b
+  | B_ashr -> ashr a b
+  | B_eq -> of_bool (equal a b)
+  | B_ne -> of_bool (not (equal a b))
+  | B_ult -> of_bool (ult a b)
+  | B_ule -> of_bool (ule a b)
+  | B_slt -> of_bool (slt a b)
+  | B_sle -> of_bool (sle a b)
+
+(** Settle all combinational values for the current cycle given primary
+    input values (missing inputs read as zero). *)
+let settle t ~inputs =
+  let nl = t.netlist in
+  for s = 0 to Netlist.length nl - 1 do
+    let v =
+      match Netlist.node nl s with
+      | Const bv -> bv
+      | Input name -> (
+        match List.assoc_opt name inputs with
+        | Some bv -> Bitvec.resize ~signed:false ~width:(Netlist.width nl s) bv
+        | None -> Bitvec.zero (Netlist.width nl s))
+      | Unop (op, a) -> apply_unop op t.values.(a)
+      | Binop (op, a, b) -> apply_binop op t.values.(a) t.values.(b)
+      | Mux { sel; if_true; if_false } ->
+        if Bitvec.to_bool t.values.(sel) then t.values.(if_true)
+        else t.values.(if_false)
+      | Concat { hi; lo } -> Bitvec.concat t.values.(hi) t.values.(lo)
+      | Extract { hi; lo; arg } -> Bitvec.extract ~hi ~lo t.values.(arg)
+      | Zext { width; arg } -> Bitvec.zero_extend ~width t.values.(arg)
+      | Sext { width; arg } -> Bitvec.sign_extend ~width t.values.(arg)
+      | Reg _ -> Hashtbl.find t.reg_state s
+      | Mem_read { mem; addr } ->
+        let contents = t.mem_state.(mem) in
+        let a = Bitvec.to_int_unsigned t.values.(addr) in
+        if a < Array.length contents then contents.(a)
+        else Bitvec.zero (Netlist.width nl s)
+    in
+    t.values.(s) <- v
+  done
+
+let value t s = t.values.(s)
+let output t name = value t (List.assoc name (Netlist.outputs t.netlist))
+let cycle t = t.cycle
+
+(** Advance state: clock edge after a [settle]. *)
+let tick t =
+  let nl = t.netlist in
+  let updates = ref [] in
+  for s = 0 to Netlist.length nl - 1 do
+    match Netlist.node nl s with
+    | Reg { next; enable; _ } ->
+      let enabled =
+        match enable with
+        | None -> true
+        | Some e -> Bitvec.to_bool t.values.(e)
+      in
+      if enabled && next >= 0 then updates := (s, t.values.(next)) :: !updates
+    | Const _ | Input _ | Unop _ | Binop _ | Mux _ | Concat _ | Extract _
+    | Zext _ | Sext _ | Mem_read _ -> ()
+  done;
+  List.iter (fun (s, v) -> Hashtbl.replace t.reg_state s v) !updates;
+  Array.iteri
+    (fun i (m : Netlist.mem) ->
+      match m.write_port with
+      | None -> ()
+      | Some (we, addr, data) ->
+        if Bitvec.to_bool t.values.(we) then begin
+          let a = Bitvec.to_int_unsigned t.values.(addr) in
+          if a < m.depth then t.mem_state.(i).(a) <- t.values.(data)
+        end)
+    (Netlist.mems t.netlist);
+  t.cycle <- t.cycle + 1
+
+(** Evaluate a purely combinational netlist once. *)
+let eval_combinational netlist ~inputs =
+  let t = create netlist in
+  settle t ~inputs;
+  List.map (fun (name, s) -> (name, t.values.(s))) (Netlist.outputs netlist)
+
+(** Run a sequential netlist until the 1-bit output [done_signal] is set or
+    [max_cycles] elapse; returns outputs and the cycle count. *)
+let run_until_done netlist ~inputs ~done_name ~max_cycles =
+  let t = create netlist in
+  let rec go () =
+    settle t ~inputs;
+    if Bitvec.to_bool (output t done_name) then
+      Ok (List.map (fun (n, s) -> (n, t.values.(s))) (Netlist.outputs netlist),
+          t.cycle)
+    else if t.cycle >= max_cycles then Error `Timeout
+    else begin
+      tick t;
+      go ()
+    end
+  in
+  go ()

@@ -1,0 +1,34 @@
+(** Netlist evaluator: combinational settling plus a cycle-accurate
+    sequential stepper.  Registers and memories update between cycles with
+    read-before-write semantics. *)
+
+type t
+
+val create : Netlist.t -> t
+
+val apply_unop : Netlist.unop -> Bitvec.t -> Bitvec.t
+val apply_binop : Netlist.binop -> Bitvec.t -> Bitvec.t -> Bitvec.t
+(** The shared operator semantics (also used by the CIR/SSA/FSMD
+    simulators, so every layer computes identically). *)
+
+val settle : t -> inputs:(string * Bitvec.t) list -> unit
+(** Settle all combinational values for the current cycle; missing inputs
+    read as zero. *)
+
+val value : t -> Netlist.signal -> Bitvec.t
+val output : t -> string -> Bitvec.t
+val cycle : t -> int
+
+val tick : t -> unit
+(** Clock edge: commit register and memory updates. *)
+
+val eval_combinational :
+  Netlist.t -> inputs:(string * Bitvec.t) list -> (string * Bitvec.t) list
+(** Evaluate a purely combinational netlist once; returns the outputs. *)
+
+val run_until_done :
+  Netlist.t -> inputs:(string * Bitvec.t) list -> done_name:string ->
+  max_cycles:int ->
+  ((string * Bitvec.t) list * int, [ `Timeout ]) result
+(** Clock a sequential netlist until the 1-bit output [done_name] is set;
+    returns the outputs and the cycle count. *)

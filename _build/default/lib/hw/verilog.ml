@@ -1,0 +1,140 @@
+(* Verilog-2001 emission from a netlist.
+
+   Every signal becomes a wire [w<N>] (registers become regs); memories
+   become reg arrays with a synchronous write block.  The output is plain
+   synthesizable RTL, one module per netlist. *)
+
+let signal_name s = Printf.sprintf "w%d" s
+
+let bv_literal bv =
+  Printf.sprintf "%d'h%Lx" (Bitvec.width bv) (Bitvec.to_int64_unsigned bv)
+
+let range w = if w = 1 then "" else Printf.sprintf "[%d:0] " (w - 1)
+
+let sanitize name =
+  String.map
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> c
+      | _ -> '_')
+    name
+
+let signed_expr s = Printf.sprintf "$signed(%s)" (signal_name s)
+
+let node_rhs nl s =
+  let n = signal_name in
+  match Netlist.node nl s with
+  | Netlist.Const bv -> Some (bv_literal bv)
+  | Input name -> Some (sanitize name)
+  | Unop (U_not, a) -> Some (Printf.sprintf "~%s" (n a))
+  | Unop (U_neg, a) -> Some (Printf.sprintf "-%s" (n a))
+  | Unop (U_reduce_or, a) -> Some (Printf.sprintf "|%s" (n a))
+  | Binop (op, a, b) ->
+    let infix l op r = Some (Printf.sprintf "%s %s %s" l op r) in
+    (match op with
+    | B_add -> infix (n a) "+" (n b)
+    | B_sub -> infix (n a) "-" (n b)
+    | B_mul -> infix (n a) "*" (n b)
+    | B_udiv -> infix (n a) "/" (n b)
+    | B_urem -> infix (n a) "%" (n b)
+    | B_sdiv -> infix (signed_expr a) "/" (signed_expr b)
+    | B_srem -> infix (signed_expr a) "%" (signed_expr b)
+    | B_and -> infix (n a) "&" (n b)
+    | B_or -> infix (n a) "|" (n b)
+    | B_xor -> infix (n a) "^" (n b)
+    | B_shl -> infix (n a) "<<" (n b)
+    | B_lshr -> infix (n a) ">>" (n b)
+    | B_ashr -> infix (signed_expr a) ">>>" (n b)
+    | B_eq -> infix (n a) "==" (n b)
+    | B_ne -> infix (n a) "!=" (n b)
+    | B_ult -> infix (n a) "<" (n b)
+    | B_ule -> infix (n a) "<=" (n b)
+    | B_slt -> infix (signed_expr a) "<" (signed_expr b)
+    | B_sle -> infix (signed_expr a) "<=" (signed_expr b))
+  | Mux { sel; if_true; if_false } ->
+    Some (Printf.sprintf "%s ? %s : %s" (n sel) (n if_true) (n if_false))
+  | Concat { hi; lo } -> Some (Printf.sprintf "{%s, %s}" (n hi) (n lo))
+  | Extract { hi; lo; arg } ->
+    Some
+      (if hi = lo then Printf.sprintf "%s[%d]" (n arg) hi
+       else Printf.sprintf "%s[%d:%d]" (n arg) hi lo)
+  | Zext { width; arg } ->
+    let pad = width - Netlist.width nl arg in
+    Some (Printf.sprintf "{%d'd0, %s}" pad (n arg))
+  | Sext { width; arg } ->
+    let aw = Netlist.width nl arg in
+    Some
+      (Printf.sprintf "{{%d{%s[%d]}}, %s}" (width - aw) (n arg) (aw - 1)
+         (n arg))
+  | Mem_read { mem; addr } ->
+    let m = (Netlist.mems nl).(mem) in
+    Some (Printf.sprintf "%s[%s]" (sanitize m.mem_name) (n addr))
+  | Reg _ -> None
+
+(** Render a netlist as a single synthesizable Verilog module. *)
+let to_string netlist =
+  let buf = Buffer.create 4096 in
+  let pr fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  let ports =
+    ("clk", `In, 1)
+    :: List.map (fun (name, s) -> (name, `In, Netlist.width netlist s))
+         (Netlist.inputs netlist)
+    @ List.map
+        (fun (name, s) -> (name, `Out, Netlist.width netlist s))
+        (Netlist.outputs netlist)
+  in
+  pr "module %s(\n" (sanitize (Netlist.name netlist));
+  List.iteri
+    (fun i (name, dir, w) ->
+      pr "  %s %s%s%s\n"
+        (match dir with `In -> "input wire" | `Out -> "output wire")
+        (range w) (sanitize name)
+        (if i = List.length ports - 1 then "" else ","))
+    ports;
+  pr ");\n\n";
+  Array.iter
+    (fun (m : Netlist.mem) ->
+      pr "  reg %s%s [0:%d];\n" (range m.word_width) (sanitize m.mem_name)
+        (m.depth - 1))
+    (Netlist.mems netlist);
+  let regs = ref [] in
+  for s = 0 to Netlist.length netlist - 1 do
+    let w = Netlist.width netlist s in
+    match Netlist.node netlist s with
+    | Reg { init; next; enable } ->
+      pr "  reg %s%s = %s;\n" (range w) (signal_name s) (bv_literal init);
+      regs := (s, next, enable) :: !regs
+    | Const _ | Input _ | Unop _ | Binop _ | Mux _ | Concat _ | Extract _
+    | Zext _ | Sext _ | Mem_read _ ->
+      pr "  wire %s%s;\n" (range w) (signal_name s)
+  done;
+  pr "\n";
+  for s = 0 to Netlist.length netlist - 1 do
+    match node_rhs netlist s with
+    | Some rhs -> pr "  assign %s = %s;\n" (signal_name s) rhs
+    | None -> ()
+  done;
+  pr "\n  always @(posedge clk) begin\n";
+  List.iter
+    (fun (s, next, enable) ->
+      if next >= 0 then
+        match enable with
+        | None -> pr "    %s <= %s;\n" (signal_name s) (signal_name next)
+        | Some e ->
+          pr "    if (%s) %s <= %s;\n" (signal_name e) (signal_name s)
+            (signal_name next))
+    (List.rev !regs);
+  Array.iter
+    (fun (m : Netlist.mem) ->
+      match m.write_port with
+      | None -> ()
+      | Some (we, addr, data) ->
+        pr "    if (%s) %s[%s] <= %s;\n" (signal_name we)
+          (sanitize m.mem_name) (signal_name addr) (signal_name data))
+    (Netlist.mems netlist);
+  pr "  end\n\n";
+  List.iter
+    (fun (name, s) -> pr "  assign %s = %s;\n" (sanitize name) (signal_name s))
+    (Netlist.outputs netlist);
+  pr "endmodule\n";
+  Buffer.contents buf

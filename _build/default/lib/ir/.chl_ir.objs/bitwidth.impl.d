@@ -1,0 +1,1 @@
+lib/ir/bitwidth.ml: Area Array Bitvec Cir Int64 List Netlist

@@ -1,0 +1,1 @@
+lib/ir/bitwidth.mli: Cir

@@ -1,0 +1,1 @@
+lib/ir/cir.ml: Array Bitvec Buffer List Netlist Printf String

@@ -1,0 +1,1 @@
+lib/ir/cir.mli: Bitvec Netlist

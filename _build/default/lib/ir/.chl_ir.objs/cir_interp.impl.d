@@ -1,0 +1,1 @@
+lib/ir/cir_interp.ml: Array Bitvec Cir List Neteval Option Printf

@@ -1,0 +1,1 @@
+lib/ir/cir_interp.mli: Bitvec Cir

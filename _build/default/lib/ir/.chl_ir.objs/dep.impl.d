@@ -1,0 +1,1 @@
+lib/ir/dep.ml: Array Cir Hashtbl List

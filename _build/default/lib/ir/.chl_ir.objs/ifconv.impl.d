@@ -1,0 +1,1 @@
+lib/ir/ifconv.ml: Array Bitvec Cfg Cir Hashtbl List Netlist Simplify

@@ -1,0 +1,1 @@
+lib/ir/loopopt.ml: Ast Ctypes Fun Int64 List Loopform Lower Option String

@@ -1,0 +1,1 @@
+lib/ir/loopopt.mli: Ast

@@ -1,0 +1,1 @@
+lib/ir/lower.ml: Array Ast Bitvec Cir Ctypes Hashtbl List Netlist Option Printf

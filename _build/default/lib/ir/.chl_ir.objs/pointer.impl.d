@@ -1,0 +1,1 @@
+lib/ir/pointer.ml: Ast Ctypes Hashtbl List Set String

@@ -1,0 +1,1 @@
+lib/ir/pointer.mli: Ast

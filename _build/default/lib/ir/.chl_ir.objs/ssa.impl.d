@@ -1,0 +1,1 @@
+lib/ir/ssa.ml: Array Bitvec Cfg Cir Hashtbl Int List Neteval Option Queue Set

@@ -1,0 +1,177 @@
+(* Bitwidth inference (experiment E8).
+
+   The paper: "Bit vectors are natural in hardware, yet C only supports
+   four sizes."  This analysis recovers narrow datapaths from C-typed
+   programs: a flow-insensitive interval analysis over CIR registers, with
+   all values read as unsigned (a register that ever holds a negative value
+   keeps its top bits, so this is conservative and sound for area
+   estimation).
+
+   Each register gets a range [0, hi]; joins take the max; operators
+   propagate ranges where they can be bounded and fall back to the full
+   declared range where they cannot (wrapping arithmetic, division,
+   variable shifts).  Iteration reaches a fixpoint quickly because ranges
+   only grow and are capped by the declared width. *)
+
+type range = { hi : Int64.t } (* upper bound of the unsigned value *)
+
+let full_range width =
+  { hi = (if width >= 63 then Int64.max_int else Int64.sub (Int64.shift_left 1L width) 1L) }
+
+let join a b = { hi = (if Int64.unsigned_compare a.hi b.hi >= 0 then a.hi else b.hi) }
+
+let bits_needed hi =
+  let rec go n v = if Int64.equal v 0L then max 1 n else go (n + 1) (Int64.shift_right_logical v 1) in
+  go 0 hi
+
+let sat_add a b =
+  let s = Int64.add a b in
+  if Int64.unsigned_compare s a < 0 then Int64.max_int else s
+
+let sat_mul a b =
+  if Int64.equal a 0L || Int64.equal b 0L then 0L
+  else if Int64.unsigned_compare a (Int64.unsigned_div Int64.max_int b) > 0
+  then Int64.max_int
+  else Int64.mul a b
+
+type result = {
+  widths : int array; (* inferred width per register *)
+  declared : int array;
+}
+
+(** Infer per-register required widths for [func]. *)
+let infer (func : Cir.func) : result =
+  let n = func.Cir.fn_reg_count in
+  let declared = func.Cir.fn_reg_widths in
+  let ranges = Array.make n { hi = 0L } in
+  let clamp r width =
+    let full = full_range width in
+    if Int64.unsigned_compare r.hi full.hi > 0 then full else r
+  in
+  (* seeds: parameters and globals start at their declared width (inputs
+     are externally controlled); memory reads at the region width. *)
+  List.iter
+    (fun (_, r) -> ranges.(r) <- full_range declared.(r))
+    func.Cir.fn_params;
+  List.iter
+    (fun (_, r, init) ->
+      (* a scalar global starts at its init but may be widened by stores *)
+      ranges.(r) <- { hi = Bitvec.to_int64_unsigned init })
+    func.Cir.fn_globals;
+  let operand_range = function
+    | Cir.O_imm bv -> { hi = Bitvec.to_int64_unsigned bv }
+    | Cir.O_reg r -> ranges.(r)
+  in
+  let transfer instr =
+    match instr with
+    | Cir.I_bin { op; dst; a; b } ->
+      let ra = operand_range a and rb = operand_range b in
+      let w = declared.(dst) in
+      let r =
+        match op with
+        | Netlist.B_add -> clamp { hi = sat_add ra.hi rb.hi } w
+        | Netlist.B_mul -> clamp { hi = sat_mul ra.hi rb.hi } w
+        | Netlist.B_and ->
+          { hi = (if Int64.unsigned_compare ra.hi rb.hi < 0 then ra.hi else rb.hi) }
+        | Netlist.B_or | Netlist.B_xor ->
+          (* bounded by the bit positions of the operands: the smallest
+             all-ones mask covering both.  Unlike an additive bound this
+             is a fixed point, so loop-carried xor state (CRC!) keeps its
+             true width instead of widening away. *)
+          let cover =
+            bits_needed
+              (if Int64.unsigned_compare ra.hi rb.hi >= 0 then ra.hi
+               else rb.hi)
+          in
+          clamp (full_range cover) w
+        | Netlist.B_urem ->
+          (* remainder < divisor (when divisor nonzero); the div-by-zero
+             convention returns the dividend, so take the max of both *)
+          join ra { hi = rb.hi }
+        | Netlist.B_udiv -> ra
+        | Netlist.B_lshr -> ra
+        | Netlist.B_eq | Netlist.B_ne | Netlist.B_ult | Netlist.B_ule
+        | Netlist.B_slt | Netlist.B_sle -> { hi = 1L }
+        | Netlist.B_sub | Netlist.B_sdiv | Netlist.B_srem | Netlist.B_shl
+        | Netlist.B_ashr -> full_range w
+      in
+      (dst, r)
+    | Cir.I_un { op; dst; a } ->
+      let w = declared.(dst) in
+      let r =
+        match op with
+        | Netlist.U_reduce_or -> { hi = 1L }
+        | Netlist.U_not | Netlist.U_neg -> full_range w
+      in
+      ignore (operand_range a);
+      (dst, r)
+    | Cir.I_mov { dst; src } -> (dst, clamp (operand_range src) declared.(dst))
+    | Cir.I_cast { dst; signed; src } ->
+      let r = operand_range src in
+      let r = if signed then full_range declared.(dst) else r in
+      (dst, clamp r declared.(dst))
+    | Cir.I_mux { dst; if_true; if_false; _ } ->
+      (dst, clamp (join (operand_range if_true) (operand_range if_false))
+              declared.(dst))
+    | Cir.I_load { dst; region; _ } ->
+      (dst, full_range func.Cir.fn_regions.(region).Cir.rg_width)
+    | Cir.I_store _ -> (-1, { hi = 0L })
+  in
+  (* Widening: a register whose bound keeps growing (a loop accumulator)
+     jumps to its full declared range after a few updates, guaranteeing a
+     sound fixpoint in bounded iterations. *)
+  let update_count = Array.make n 0 in
+  let widen_after = 4 in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    Array.iter
+      (fun blk ->
+        List.iter
+          (fun instr ->
+            let dst, r = transfer instr in
+            if dst >= 0 then begin
+              let joined = join ranges.(dst) r in
+              if Int64.unsigned_compare joined.hi ranges.(dst).hi > 0 then begin
+                update_count.(dst) <- update_count.(dst) + 1;
+                ranges.(dst) <-
+                  (if update_count.(dst) >= widen_after then
+                     full_range declared.(dst)
+                   else joined);
+                changed := true
+              end
+            end)
+          blk.Cir.instrs)
+      func.Cir.fn_blocks
+  done;
+  { widths =
+      Array.init n (fun r -> min declared.(r) (bits_needed ranges.(r).hi));
+    declared = Array.copy declared }
+
+(** Datapath area (GE) of a function's operators under a width assignment —
+    the basis of the E8 comparison. *)
+let datapath_area (func : Cir.func) ~widths =
+  let w_of = function
+    | Cir.O_reg r -> widths.(r)
+    (* constants contribute their significant bits, not their C width *)
+    | Cir.O_imm bv -> Bitvec.significant_bits bv
+  in
+  Array.fold_left
+    (fun acc blk ->
+      List.fold_left
+        (fun acc instr ->
+          match instr with
+          | Cir.I_bin { op; a; b; _ } ->
+            acc +. (Area.binop_cost op (max (w_of a) (w_of b))).Area.area
+          | Cir.I_un { op; a; _ } ->
+            acc +. (Area.unop_cost op (w_of a)).Area.area
+          | Cir.I_mux { if_true; _ } ->
+            acc +. (3. *. float_of_int (w_of if_true))
+          | Cir.I_mov _ | Cir.I_cast _ -> acc
+          | Cir.I_load _ | Cir.I_store _ -> acc +. 8.)
+        acc blk.Cir.instrs)
+    0. func.Cir.fn_blocks
+
+(** Total register bits under a width assignment. *)
+let register_bits (func : Cir.func) ~widths =
+  Array.fold_left ( + ) 0 (Array.init func.Cir.fn_reg_count (fun r -> widths.(r)))

@@ -1,0 +1,20 @@
+(** Bitwidth inference — experiment E8 ("C only supports four sizes").
+
+    Flow-insensitive interval analysis over CIR registers with all values
+    read as unsigned; a register that ever holds a negative value keeps
+    its top bits, so the result is conservative.  Widening guarantees a
+    fixpoint for loop accumulators. *)
+
+type result = {
+  widths : int array;  (** inferred width per register *)
+  declared : int array;  (** the C-typed widths *)
+}
+
+val infer : Cir.func -> result
+
+val datapath_area : Cir.func -> widths:int array -> float
+(** Operator area (GE) of the function under a width assignment — the
+    basis of the E8 comparison. *)
+
+val register_bits : Cir.func -> widths:int array -> int
+(** Total register bits under a width assignment. *)

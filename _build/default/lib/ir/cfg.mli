@@ -1,0 +1,31 @@
+(** CFG analyses over CIR: reverse postorder, predecessors, dominators
+    (Cooper–Harvey–Kennedy), dominance frontiers, natural loops. *)
+
+type t = {
+  func : Cir.func;
+  preds : int list array;
+  rpo : int array;  (** reachable blocks in reverse postorder *)
+  rpo_index : int array;  (** block -> rpo position; -1 if unreachable *)
+  idom : int array;  (** immediate dominator; the entry maps to itself *)
+}
+
+val compute_preds : Cir.func -> int list array
+val compute_rpo : Cir.func -> int array
+
+val build : Cir.func -> t
+
+val reachable : t -> int -> bool
+
+val dominates : t -> int -> int -> bool
+(** [dominates t a b]: does block [a] dominate block [b]?  (Reflexive.) *)
+
+val dominance_frontiers : t -> int list array
+
+type natural_loop = {
+  header : int;
+  latch : int;  (** source of the back edge *)
+  body : int list;  (** blocks in the loop, header included *)
+}
+
+val natural_loops : t -> natural_loop list
+(** Loops from back edges (latch -> header with header dominating latch). *)

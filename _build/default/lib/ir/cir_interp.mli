@@ -1,0 +1,25 @@
+(** CIR interpreter: executes a lowered function directly — the mid-level
+    oracle between the AST interpreter and the hardware simulators, and
+    the source of the dynamic instruction traces the ILP study consumes.
+
+    Memory semantics are total (out-of-range loads read zero, stores are
+    ignored), matching every hardware simulator so if-converted
+    speculative accesses stay safe. *)
+
+exception Runtime_error of string
+exception Timeout
+
+type outcome = {
+  return_value : Bitvec.t option;
+  dynamic_instrs : int;
+  globals : (string * Bitvec.t) list;
+  memories : (string * Bitvec.t array) list;
+  trace : (int * Cir.instr) list;
+      (** (block id, instruction) in execution order, when recorded *)
+}
+
+val run :
+  ?max_steps:int -> ?record_trace:bool -> Cir.func -> args:Bitvec.t list ->
+  outcome
+(** Execute with argument values bound to the parameter registers.
+    @raise Timeout past [max_steps] dynamic instructions (default 10M). *)

@@ -1,0 +1,121 @@
+(* Data-dependence graphs over straight-line CIR instruction sequences.
+
+   Used by the list scheduler (intra-block dependences bound how many
+   operations can issue together), the ILP-limit study (dependences over a
+   dynamic trace) and the modulo scheduler (loop-carried dependences).
+
+   Edge kinds follow the classic taxonomy: RAW (true), WAR (anti), WAW
+   (output), plus memory ordering edges — a store to a region orders with
+   every other access to the same region; loads may reorder freely with
+   loads. *)
+
+type kind = Raw | War | Waw | Mem
+
+type edge = { src : int; dst : int; kind : kind }
+
+type graph = {
+  instrs : Cir.instr array;
+  edges : edge list;
+  preds : (int * kind) list array; (* per node: (pred, kind) *)
+  succs : (int * kind) list array;
+}
+
+(** Build the dependence DAG of an instruction sequence. *)
+let of_instrs (instrs : Cir.instr list) : graph =
+  let arr = Array.of_list instrs in
+  let n = Array.length arr in
+  let edges = ref [] in
+  let add src dst kind = if src <> dst then edges := { src; dst; kind } :: !edges in
+  let last_def = Hashtbl.create 32 in (* reg -> node *)
+  let readers_since_def = Hashtbl.create 32 in (* reg -> node list *)
+  let last_store = Hashtbl.create 8 in (* region -> node *)
+  let loads_since_store = Hashtbl.create 8 in (* region -> node list *)
+  for i = 0 to n - 1 do
+    let instr = arr.(i) in
+    (* true dependences *)
+    List.iter
+      (fun r ->
+        match Hashtbl.find_opt last_def r with
+        | Some d -> add d i Raw
+        | None -> ())
+      (Cir.uses_of instr);
+    (* memory dependences *)
+    (match Cir.memory_access instr with
+    | Some (region, `Read) ->
+      (match Hashtbl.find_opt last_store region with
+      | Some s -> add s i Mem
+      | None -> ());
+      let l =
+        match Hashtbl.find_opt loads_since_store region with
+        | Some l -> l
+        | None -> []
+      in
+      Hashtbl.replace loads_since_store region (i :: l)
+    | Some (region, `Write) ->
+      (match Hashtbl.find_opt last_store region with
+      | Some s -> add s i Mem
+      | None -> ());
+      List.iter
+        (fun l -> add l i Mem)
+        (match Hashtbl.find_opt loads_since_store region with
+        | Some l -> l
+        | None -> []);
+      Hashtbl.replace last_store region i;
+      Hashtbl.replace loads_since_store region []
+    | None -> ());
+    (* output and anti dependences *)
+    (match Cir.def_of instr with
+    | Some d ->
+      (match Hashtbl.find_opt last_def d with
+      | Some prev -> add prev i Waw
+      | None -> ());
+      List.iter
+        (fun r -> add r i War)
+        (match Hashtbl.find_opt readers_since_def d with
+        | Some l -> l
+        | None -> []);
+      Hashtbl.replace last_def d i;
+      Hashtbl.replace readers_since_def d []
+    | None -> ());
+    List.iter
+      (fun r ->
+        let l =
+          match Hashtbl.find_opt readers_since_def r with
+          | Some l -> l
+          | None -> []
+        in
+        Hashtbl.replace readers_since_def r (i :: l))
+      (Cir.uses_of instr)
+  done;
+  let preds = Array.make n [] and succs = Array.make n [] in
+  List.iter
+    (fun e ->
+      preds.(e.dst) <- (e.src, e.kind) :: preds.(e.dst);
+      succs.(e.src) <- (e.dst, e.kind) :: succs.(e.src))
+    !edges;
+  { instrs = arr; edges = !edges; preds; succs }
+
+(** Critical-path length in instruction counts (unit latency). *)
+let critical_path g =
+  let n = Array.length g.instrs in
+  let depth = Array.make n 1 in
+  for i = 0 to n - 1 do
+    List.iter
+      (fun (p, _) -> if depth.(p) + 1 > depth.(i) then depth.(i) <- depth.(p) + 1)
+      g.preds.(i)
+  done;
+  Array.fold_left max 0 depth
+
+(** True-dependence-only variant, as if registers were infinitely renamed
+    (Wall's "perfect renaming" model). *)
+let of_instrs_renamed (instrs : Cir.instr list) : graph =
+  let g = of_instrs instrs in
+  let edges = List.filter (fun e -> e.kind = Raw || e.kind = Mem) g.edges in
+  let n = Array.length g.instrs in
+  let preds = Array.make n [] and succs = Array.make n [] in
+  List.iter
+    (fun e ->
+      preds.(e.dst) <- (e.src, e.kind) :: preds.(e.dst);
+      succs.(e.src) <- (e.dst, e.kind) :: succs.(e.src))
+    edges;
+  { instrs = g.instrs; edges; preds; succs }

@@ -1,0 +1,24 @@
+(** Data-dependence graphs over straight-line CIR instruction sequences,
+    with the classic edge taxonomy: RAW (true), WAR (anti), WAW (output),
+    and memory ordering (a store orders with every same-region access;
+    loads reorder freely with loads). *)
+
+type kind = Raw | War | Waw | Mem
+
+type edge = { src : int; dst : int; kind : kind }
+
+type graph = {
+  instrs : Cir.instr array;
+  edges : edge list;
+  preds : (int * kind) list array;
+  succs : (int * kind) list array;
+}
+
+val of_instrs : Cir.instr list -> graph
+
+val critical_path : graph -> int
+(** Longest dependence chain in instructions (unit latency). *)
+
+val of_instrs_renamed : Cir.instr list -> graph
+(** True and memory dependences only, as if registers were infinitely
+    renamed (Wall's perfect-renaming model). *)

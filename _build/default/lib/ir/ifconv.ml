@@ -1,0 +1,263 @@
+(* If-conversion: turning branchy diamonds into straight-line predicated
+   code.
+
+   The paper's E2 claim is that "dependencies and control-flow transfers
+   limit parallelism" in pipelining.  If-conversion is the classic
+   mitigation: a forward branch whose arms are small straight-line blocks
+   is replaced by executing both arms speculatively into fresh registers
+   and selecting results with muxes, so the loop body becomes one block
+   and modulo scheduling applies.
+
+   Handled shapes (A ends in a branch on [cond]):
+
+     diamond:   A -> {T, F},  T -> J,  F -> J,  preds(J) = {T, F}
+     triangle:  A -> {T, J},  T -> J,           preds(J) = {A, T}
+
+   where T/F contain only instructions (no further control flow).
+   Speculation safety:
+     - loads on the not-taken path are safe because every evaluator
+       gives out-of-range loads a total read-as-zero semantics;
+     - stores are converted to read-modify-write: the new value is muxed
+       with the location's current contents, so a not-taken store writes
+       back what was already there (one extra load per converted store). *)
+
+type state = {
+  func : Cir.func;
+  mutable reg_widths : int array;
+  mutable reg_count : int;
+}
+
+let fresh st width =
+  if st.reg_count = Array.length st.reg_widths then begin
+    let bigger = Array.make (max 8 (2 * st.reg_count)) 0 in
+    Array.blit st.reg_widths 0 bigger 0 st.reg_count;
+    st.reg_widths <- bigger
+  end;
+  st.reg_widths.(st.reg_count) <- width;
+  st.reg_count <- st.reg_count + 1;
+  st.reg_count - 1
+
+let is_straight_line (blk : Cir.block) =
+  match blk.Cir.term with Cir.T_jump _ -> true | _ -> false
+
+(* Rename a block's instructions so that every definition targets a fresh
+   register; returns the rewritten instructions, the def map (original reg
+   -> its speculative version), and the RMW loads inserted for stores. *)
+let speculate st (instrs : Cir.instr list) ~pred =
+  let version = Hashtbl.create 8 in
+  let map_use r =
+    match Hashtbl.find_opt version r with Some v -> v | None -> r
+  in
+  let map_operand = function
+    | Cir.O_reg r -> Cir.O_reg (map_use r)
+    | Cir.O_imm bv -> Cir.O_imm bv
+  in
+  let def r =
+    let v = fresh st st.reg_widths.(r) in
+    Hashtbl.replace version r v;
+    v
+  in
+  let out = ref [] in
+  let emit i = out := i :: !out in
+  List.iter
+    (fun instr ->
+      match instr with
+      | Cir.I_bin { op; dst; a; b } ->
+        let a = map_operand a and b = map_operand b in
+        emit (Cir.I_bin { op; dst = def dst; a; b })
+      | Cir.I_un { op; dst; a } ->
+        let a = map_operand a in
+        emit (Cir.I_un { op; dst = def dst; a })
+      | Cir.I_mov { dst; src } ->
+        let src = map_operand src in
+        emit (Cir.I_mov { dst = def dst; src })
+      | Cir.I_cast { dst; signed; src } ->
+        let src = map_operand src in
+        emit (Cir.I_cast { dst = def dst; signed; src })
+      | Cir.I_mux { dst; sel; if_true; if_false } ->
+        let sel = map_operand sel
+        and if_true = map_operand if_true
+        and if_false = map_operand if_false in
+        emit (Cir.I_mux { dst = def dst; sel; if_true; if_false })
+      | Cir.I_load { dst; region; addr } ->
+        let addr = map_operand addr in
+        emit (Cir.I_load { dst = def dst; region; addr })
+      | Cir.I_store { region; addr; value } ->
+        (* read-modify-write under the predicate *)
+        let addr = map_operand addr and value = map_operand value in
+        let width = st.func.Cir.fn_regions.(region).Cir.rg_width in
+        let old_v = fresh st width in
+        emit (Cir.I_load { dst = old_v; region; addr });
+        let sel = fresh st width in
+        emit
+          (Cir.I_mux
+             { dst = sel; sel = Cir.O_reg pred; if_true = value;
+               if_false = Cir.O_reg old_v });
+        emit (Cir.I_store { region; addr; value = Cir.O_reg sel }))
+    instrs;
+  (List.rev !out, version)
+
+(* Try to if-convert the branch ending [a_id]; returns true on success. *)
+let try_convert st (preds : int list array) a_id =
+  let func = st.func in
+  let a = Cir.block func a_id in
+  match a.Cir.term with
+  | Cir.T_jump _ | Cir.T_return _ -> false
+  | Cir.T_branch { cond; if_true; if_false } ->
+    let block = Cir.block func in
+    let shape =
+      if if_true = if_false then None
+      else if
+        (* diamond *)
+        is_straight_line (block if_true)
+        && is_straight_line (block if_false)
+        && (match ((block if_true).Cir.term, (block if_false).Cir.term) with
+           | Cir.T_jump jt, Cir.T_jump jf ->
+             jt = jf && jt <> a_id && jt <> if_true && jt <> if_false
+             && List.sort compare preds.(jt) = List.sort compare [ if_true; if_false ]
+           | _ -> false)
+      then
+        match (block if_true).Cir.term with
+        | Cir.T_jump j -> Some (`Diamond (if_true, if_false, j))
+        | _ -> None
+      else if
+        (* triangle: true arm only *)
+        is_straight_line (block if_true)
+        && (match (block if_true).Cir.term with
+           | Cir.T_jump j ->
+             j = if_false && j <> a_id && j <> if_true
+             && List.sort compare preds.(j)
+                = List.sort compare [ a_id; if_true ]
+           | _ -> false)
+      then Some (`Triangle (if_true, if_false))
+      else if
+        (* triangle: false arm only *)
+        is_straight_line (block if_false)
+        && (match (block if_false).Cir.term with
+           | Cir.T_jump j ->
+             j = if_true && j <> a_id && j <> if_false
+             && List.sort compare preds.(j)
+                = List.sort compare [ a_id; if_false ]
+           | _ -> false)
+      then Some (`Triangle_false (if_false, if_true))
+      else None
+    in
+    (match shape with
+    | None -> false
+    | Some shape ->
+      (* materialize the predicate as a 1-bit register *)
+      let pred = fresh st 1 in
+      let cond_width =
+        match cond with
+        | Cir.O_reg r -> st.reg_widths.(r)
+        | Cir.O_imm bv -> Bitvec.width bv
+      in
+      let pred_instr =
+        Cir.I_bin
+          { op = Netlist.B_ne; dst = pred; a = cond;
+            b = Cir.O_imm (Bitvec.zero cond_width) }
+      in
+      let not_pred = fresh st 1 in
+      let not_pred_instr =
+        Cir.I_bin
+          { op = Netlist.B_eq; dst = not_pred; a = cond;
+            b = Cir.O_imm (Bitvec.zero cond_width) }
+      in
+      let merge_and_join t_instrs t_map f_instrs f_map join =
+        (* mux every register either arm defined *)
+        let keys = Hashtbl.create 8 in
+        Hashtbl.iter (fun r _ -> Hashtbl.replace keys r ()) t_map;
+        Hashtbl.iter (fun r _ -> Hashtbl.replace keys r ()) f_map;
+        let muxes =
+          Hashtbl.fold
+            (fun r () acc ->
+              let t_v =
+                match Hashtbl.find_opt t_map r with
+                | Some v -> Cir.O_reg v
+                | None -> Cir.O_reg r
+              and f_v =
+                match Hashtbl.find_opt f_map r with
+                | Some v -> Cir.O_reg v
+                | None -> Cir.O_reg r
+              in
+              Cir.I_mux
+                { dst = r; sel = Cir.O_reg pred; if_true = t_v;
+                  if_false = f_v }
+              :: acc)
+            keys []
+        in
+        a.Cir.instrs <-
+          a.Cir.instrs @ [ pred_instr; not_pred_instr ] @ t_instrs @ f_instrs
+          @ muxes;
+        a.Cir.term <- Cir.T_jump join
+      in
+      (* the converted arms become unreachable; neutralize them so later
+         predecessor computations no longer see their old jumps *)
+      let kill b =
+        let blk = Cir.block func b in
+        blk.Cir.instrs <- [];
+        blk.Cir.term <- Cir.T_return None
+      in
+      (match shape with
+      | `Diamond (t, f, join) ->
+        let t_instrs, t_map =
+          speculate st (Cir.block func t).Cir.instrs ~pred
+        in
+        let f_instrs, f_map =
+          speculate st (Cir.block func f).Cir.instrs ~pred:not_pred
+        in
+        merge_and_join t_instrs t_map f_instrs f_map join;
+        kill t;
+        kill f
+      | `Triangle (t, join) ->
+        let t_instrs, t_map =
+          speculate st (Cir.block func t).Cir.instrs ~pred
+        in
+        merge_and_join t_instrs t_map [] (Hashtbl.create 1) join;
+        kill t
+      | `Triangle_false (f, join) ->
+        let f_instrs, f_map =
+          speculate st (Cir.block func f).Cir.instrs ~pred:not_pred
+        in
+        merge_and_join [] (Hashtbl.create 1) f_instrs f_map join;
+        kill f);
+      true)
+
+(** If-convert every diamond/triangle in [func], to a fixpoint.  Returns
+    the rewritten function (blocks are renumbered by a final
+    simplification pass) and the number of branches converted. *)
+let convert (func : Cir.func) : Cir.func * int =
+  (* work on a deep copy: blocks are mutable *)
+  let func =
+    { func with
+      Cir.fn_blocks =
+        Array.map
+          (fun b ->
+            { Cir.b_id = b.Cir.b_id; instrs = b.Cir.instrs;
+              term = b.Cir.term })
+          func.Cir.fn_blocks }
+  in
+  let st =
+    { func;
+      reg_widths = Array.copy func.Cir.fn_reg_widths;
+      reg_count = func.Cir.fn_reg_count }
+  in
+  let converted = ref 0 in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    let preds = Cfg.compute_preds st.func in
+    for b = 0 to Cir.num_blocks st.func - 1 do
+      if try_convert st preds b then begin
+        incr converted;
+        changed := true
+      end
+    done
+  done;
+  let func =
+    { st.func with
+      Cir.fn_reg_widths = Array.sub st.reg_widths 0 st.reg_count;
+      fn_reg_count = st.reg_count }
+  in
+  let simplified, _ = Simplify.simplify func in
+  (simplified, !converted)

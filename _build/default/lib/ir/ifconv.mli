@@ -1,0 +1,15 @@
+(** If-conversion: forward branches with small straight-line arms become
+    straight-line predicated code (both arms execute speculatively into
+    fresh registers; muxes select results; stores become read-modify-write
+    under the predicate).
+
+    This is the standard mitigation for the paper's E2 observation that
+    control-flow transfers defeat pipelining: after conversion, an
+    innermost loop body with an if/else is a single block and modulo
+    scheduling applies.  Speculation is safe because every evaluator gives
+    out-of-range memory accesses total read-zero/ignore semantics. *)
+
+val convert : Cir.func -> Cir.func * int
+(** Convert every diamond/triangle to a fixpoint; the result is
+    CFG-simplified.  Returns the rewritten function and the number of
+    branches eliminated.  Semantics-preserving (differentially tested). *)

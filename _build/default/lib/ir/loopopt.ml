@@ -1,0 +1,288 @@
+(* Source-level loop transformations (AST -> AST).
+
+   These are the "recoding" steps the paper says the implicit-clocking
+   languages force on designers: Transmogrifier C charges one cycle per
+   loop iteration, so meeting timing "may need loops unrolled"; Handel-C
+   charges one cycle per assignment, so temporaries "may require assignment
+   statements to be fused".  Experiment E4 applies these mechanically and
+   measures the cycle-count effect; the Cones backend uses full unrolling
+   to flatten loops into combinational logic. *)
+
+exception Not_unrollable of string
+
+(* Substitute expression [value] for variable [var] in an expression. *)
+let rec subst_expr var value (e : Ast.expr) : Ast.expr =
+  let sub = subst_expr var value in
+  let desc =
+    match e.Ast.e with
+    | Ast.Var name when String.equal name var -> value.Ast.e
+    | Ast.Var _ | Ast.Const _ | Ast.Chan_recv _ -> e.Ast.e
+    | Ast.Unop (op, a) -> Ast.Unop (op, sub a)
+    | Ast.Binop (op, a, b) -> Ast.Binop (op, sub a, sub b)
+    | Ast.Assign (l, r) -> Ast.Assign (sub l, sub r)
+    | Ast.Cond (c, t, f) -> Ast.Cond (sub c, sub t, sub f)
+    | Ast.Call (f, args) -> Ast.Call (f, List.map sub args)
+    | Ast.Index (b, i) -> Ast.Index (sub b, sub i)
+    | Ast.Deref a -> Ast.Deref (sub a)
+    | Ast.Addr_of a -> Ast.Addr_of (sub a)
+    | Ast.Cast (ty, a) -> Ast.Cast (ty, sub a)
+  in
+  { e with Ast.e = desc }
+
+let rec subst_stmt var value (st : Ast.stmt) : Ast.stmt =
+  let sub_e = subst_expr var value in
+  let sub_b = List.map (subst_stmt var value) in
+  let shadowed_in_decl = function
+    | { Ast.s = Ast.Decl (_, name, _); _ } -> String.equal name var
+    | _ -> false
+  in
+  let desc =
+    match st.Ast.s with
+    | Ast.Expr e -> Ast.Expr (sub_e e)
+    | Ast.Decl (ty, name, init) when String.equal name var ->
+      (* shadowing declaration: initializer still sees the outer value *)
+      Ast.Decl (ty, name, Option.map sub_e init)
+    | Ast.Decl (ty, name, init) -> Ast.Decl (ty, name, Option.map sub_e init)
+    | Ast.If (c, t, f) -> Ast.If (sub_e c, sub_b t, sub_b f)
+    | Ast.While (c, b) -> Ast.While (sub_e c, sub_b b)
+    | Ast.Do_while (b, c) -> Ast.Do_while (sub_b b, sub_e c)
+    | Ast.For (init, cond, step, body) ->
+      if Option.fold ~none:false ~some:shadowed_in_decl init then st.Ast.s
+      else
+        Ast.For
+          ( Option.map (subst_stmt var value) init,
+            Option.map sub_e cond,
+            Option.map sub_e step,
+            sub_b body )
+    | Ast.Return e -> Ast.Return (Option.map sub_e e)
+    | Ast.Break -> Ast.Break
+    | Ast.Continue -> Ast.Continue
+    | Ast.Block b -> Ast.Block (sub_b b)
+    | Ast.Par branches -> Ast.Par (List.map sub_b branches)
+    | Ast.Chan_send (ch, e) -> Ast.Chan_send (ch, sub_e e)
+    | Ast.Delay -> Ast.Delay
+    | Ast.Constrain (lo, hi, b) -> Ast.Constrain (lo, hi, sub_b b)
+  in
+  { st with Ast.s = desc }
+
+let assigns_to var body =
+  let found = ref false in
+  List.iter
+    (Ast.iter_stmt
+       ~stmt:(fun _ -> ())
+       ~expr:(fun e ->
+         match e.Ast.e with
+         | Ast.Assign ({ e = Ast.Var name; _ }, _) when String.equal name var
+           -> found := true
+         | _ -> ()))
+    body;
+  !found
+
+let uses_break_or_continue body =
+  let found = ref false in
+  (* only break/continue belonging to *this* loop matter; nested loops keep
+     theirs.  We approximate by scanning without descending into nested
+     loops. *)
+  let rec scan st =
+    match st.Ast.s with
+    | Ast.Break | Ast.Continue -> found := true
+    | Ast.If (_, t, f) ->
+      List.iter scan t;
+      List.iter scan f
+    | Ast.Block b | Ast.Constrain (_, _, b) -> List.iter scan b
+    | Ast.While _ | Ast.Do_while _ | Ast.For _ -> ()
+    | Ast.Expr _ | Ast.Decl _ | Ast.Return _ | Ast.Par _ | Ast.Chan_send _
+    | Ast.Delay -> ()
+  in
+  List.iter scan body;
+  !found
+
+let int_const n =
+  Ast.mk_expr (Ast.Const (Int64.of_int n, Ctypes.int_t))
+
+(** Fully unroll a bounded counting loop: each iteration becomes a copy of
+    the body with the induction variable replaced by its constant value. *)
+let fully_unroll_for ~init ~cond ~step ~body : Ast.block =
+  match Loopform.recognize ~init ~cond ~step with
+  | None -> raise (Not_unrollable "loop bounds are not static")
+  | Some b -> (
+    if assigns_to b.Loopform.var body then
+      raise (Not_unrollable "body assigns to the induction variable");
+    if uses_break_or_continue body then
+      raise (Not_unrollable "body uses break/continue");
+    match Loopform.iteration_values b with
+    | None -> raise (Not_unrollable "loop may not terminate")
+    | Some values ->
+      List.map
+        (fun v ->
+          Ast.mk_stmt
+            (Ast.Block
+               (List.map (subst_stmt b.Loopform.var (int_const v)) body)))
+        values)
+
+(** Partially unroll by [factor]: the body is replicated with induction
+    offsets 0, step, 2*step, ... and the loop advances by factor*step.
+    Requires the trip count to be divisible by [factor]. *)
+let partially_unroll_for ~factor ~init ~cond ~step ~body :
+    Ast.stmt =
+  if factor < 2 then raise (Not_unrollable "factor must be >= 2");
+  match Loopform.recognize ~init ~cond ~step with
+  | None -> raise (Not_unrollable "loop bounds are not static")
+  | Some b -> (
+    if assigns_to b.Loopform.var body then
+      raise (Not_unrollable "body assigns to the induction variable");
+    if uses_break_or_continue body then
+      raise (Not_unrollable "body uses break/continue");
+    match Loopform.trip_count b with
+    | None -> raise (Not_unrollable "loop may not terminate")
+    | Some n when n mod factor <> 0 ->
+      raise (Not_unrollable "trip count not divisible by factor")
+    | Some _ ->
+      let var_expr = Ast.mk_expr (Ast.Var b.Loopform.var) in
+      let copies =
+        List.concat_map
+          (fun k ->
+            let offset = k * b.Loopform.step in
+            let replacement =
+              if offset = 0 then var_expr
+              else
+                Ast.mk_expr
+                  (Ast.Binop (Ast.Add, var_expr, int_const offset))
+            in
+            [ Ast.mk_stmt
+                (Ast.Block
+                   (List.map (subst_stmt b.Loopform.var replacement) body)) ])
+          (List.init factor Fun.id)
+      in
+      let new_step =
+        Ast.mk_expr
+          (Ast.Assign
+             ( var_expr,
+               Ast.mk_expr
+                 (Ast.Binop
+                    ( Ast.Add,
+                      var_expr,
+                      int_const (b.Loopform.step * factor) )) ))
+      in
+      Ast.mk_stmt (Ast.For (init, cond, Some new_step, copies)))
+
+(** Apply full unrolling to every bounded for loop in a function
+    (recursively, innermost first). *)
+let rec unroll_all_stmt (st : Ast.stmt) : Ast.stmt =
+  let desc =
+    match st.Ast.s with
+    | Ast.For (init, cond, step, body) -> (
+      let body = List.map unroll_all_stmt body in
+      match fully_unroll_for ~init ~cond ~step ~body with
+      | unrolled -> Ast.Block unrolled
+      | exception Not_unrollable _ -> Ast.For (init, cond, step, body))
+    | Ast.If (c, t, f) ->
+      Ast.If (c, List.map unroll_all_stmt t, List.map unroll_all_stmt f)
+    | Ast.While (c, b) -> Ast.While (c, List.map unroll_all_stmt b)
+    | Ast.Do_while (b, c) -> Ast.Do_while (List.map unroll_all_stmt b, c)
+    | Ast.Block b -> Ast.Block (List.map unroll_all_stmt b)
+    | Ast.Par branches -> Ast.Par (List.map (List.map unroll_all_stmt) branches)
+    | Ast.Constrain (lo, hi, b) ->
+      Ast.Constrain (lo, hi, List.map unroll_all_stmt b)
+    | Ast.Expr _ | Ast.Decl _ | Ast.Return _ | Ast.Break | Ast.Continue
+    | Ast.Chan_send _ | Ast.Delay -> st.Ast.s
+  in
+  { st with Ast.s = desc }
+
+let unroll_all_func (f : Ast.func) : Ast.func =
+  { f with Ast.f_body = List.map unroll_all_stmt f.Ast.f_body }
+
+let unroll_all_program (p : Ast.program) : Ast.program =
+  { p with Ast.funcs = List.map unroll_all_func p.Ast.funcs }
+
+(* --- assignment fusion (Handel-C recoding) --- *)
+
+let count_uses var stmts =
+  let count = ref 0 in
+  List.iter
+    (Ast.iter_stmt
+       ~stmt:(fun _ -> ())
+       ~expr:(fun e ->
+         match e.Ast.e with
+         | Ast.Var name when String.equal name var -> incr count
+         | _ -> ()))
+    stmts;
+  !count
+
+let count_assigns var stmts =
+  let count = ref 0 in
+  List.iter
+    (Ast.iter_stmt
+       ~stmt:(fun st ->
+         match st.Ast.s with
+         | Ast.Decl (_, name, Some _) when String.equal name var -> incr count
+         | _ -> ())
+       ~expr:(fun e ->
+         match e.Ast.e with
+         | Ast.Assign ({ e = Ast.Var name; _ }, _) when String.equal name var
+           -> incr count
+         | _ -> ()))
+    stmts;
+  !count
+
+(* Safe to substitute [init] for its single use inside [consumer]?
+   The use must be in the very next statement, that statement's computed
+   expression must be pure apart from its own outermost store (which
+   happens after evaluation), and it must not be control flow — otherwise
+   something could modify init's inputs between definition and use (the
+   classic `t = a+b; a = b; b = t` swap must NOT fuse). *)
+let single_use_in_next_statement name init (consumer : Ast.stmt) =
+  ignore init;
+  match consumer.Ast.s with
+  | Ast.Expr { e = Ast.Assign (lhs, rhs); _ } ->
+    Lower.expr_pure rhs
+    && count_uses name [ Ast.mk_stmt (Ast.Expr rhs) ] = 1
+    && count_uses name [ Ast.mk_stmt (Ast.Expr lhs) ] = 0
+  | Ast.Decl (_, _, Some rhs) ->
+    Lower.expr_pure rhs && count_uses name [ Ast.mk_stmt (Ast.Expr rhs) ] = 1
+  | Ast.Return (Some rhs) ->
+    Lower.expr_pure rhs && count_uses name [ Ast.mk_stmt (Ast.Expr rhs) ] = 1
+  | Ast.Expr _ | Ast.Decl _ | Ast.Return None | Ast.If _ | Ast.While _
+  | Ast.Do_while _ | Ast.For _ | Ast.Break | Ast.Continue | Ast.Block _
+  | Ast.Par _ | Ast.Chan_send _ | Ast.Delay | Ast.Constrain _ -> false
+
+(** Fuse single-use pure temporaries into their immediately following
+    consumer within a straight-line block: `int t = a+b; x = t*c;` becomes
+    `x = (a+b)*c;`.  In Handel-C this saves one clock cycle per fused
+    temporary.  Only the directly-next statement is considered so nothing
+    can intervene between the temporary's definition and its use. *)
+let rec fuse_block (stmts : Ast.block) : Ast.block =
+  match stmts with
+  | [] -> []
+  | { Ast.s = Ast.Decl (_, name, Some init); _ } :: (consumer :: _ as rest)
+    when Lower.expr_pure init
+         && count_uses name rest = 1
+         && count_assigns name rest = 0
+         && single_use_in_next_statement name init consumer ->
+    (* substitute and drop the temporary *)
+    fuse_block (List.map (subst_stmt name init) rest)
+  | ({ Ast.s = Ast.Block inner; _ } as st) :: rest ->
+    { st with Ast.s = Ast.Block (fuse_block inner) } :: fuse_block rest
+  | st :: rest -> fuse_stmt st :: fuse_block rest
+
+and fuse_stmt (st : Ast.stmt) : Ast.stmt =
+  let desc =
+    match st.Ast.s with
+    | Ast.If (c, t, f) -> Ast.If (c, fuse_block t, fuse_block f)
+    | Ast.While (c, b) -> Ast.While (c, fuse_block b)
+    | Ast.Do_while (b, c) -> Ast.Do_while (fuse_block b, c)
+    | Ast.For (init, cond, step, body) ->
+      Ast.For (init, cond, step, fuse_block body)
+    | Ast.Block b -> Ast.Block (fuse_block b)
+    | Ast.Par branches -> Ast.Par (List.map fuse_block branches)
+    | Ast.Constrain (lo, hi, b) -> Ast.Constrain (lo, hi, fuse_block b)
+    | Ast.Expr _ | Ast.Decl _ | Ast.Return _ | Ast.Break | Ast.Continue
+    | Ast.Chan_send _ | Ast.Delay -> st.Ast.s
+  in
+  { st with Ast.s = desc }
+
+let fuse_func (f : Ast.func) : Ast.func =
+  { f with Ast.f_body = fuse_block f.Ast.f_body }
+
+let fuse_program (p : Ast.program) : Ast.program =
+  { p with Ast.funcs = List.map fuse_func p.Ast.funcs }

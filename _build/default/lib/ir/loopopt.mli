@@ -1,0 +1,39 @@
+(** Source-level loop transformations (AST -> AST): the "recoding" the
+    paper says implicit-clocking languages force on designers.
+    Transmogrifier C charges a cycle per loop iteration, so timing may
+    need loops unrolled; Handel-C charges a cycle per assignment, so
+    temporaries may need fusing.  Experiment E4 measures both. *)
+
+exception Not_unrollable of string
+
+val subst_stmt : string -> Ast.expr -> Ast.stmt -> Ast.stmt
+(** Substitute an expression for a variable (shadowing-aware). *)
+
+val fully_unroll_for :
+  init:Ast.stmt option -> cond:Ast.expr option -> step:Ast.expr option ->
+  body:Ast.block -> Ast.block
+(** Each iteration becomes a copy of the body with the induction variable
+    replaced by its constant value.
+    @raise Not_unrollable for non-static bounds, induction-variable
+    assignment, or break/continue. *)
+
+val partially_unroll_for :
+  factor:int -> init:Ast.stmt option -> cond:Ast.expr option ->
+  step:Ast.expr option -> body:Ast.block -> Ast.stmt
+(** Replicate the body [factor] times with induction offsets; the trip
+    count must divide by [factor].  @raise Not_unrollable otherwise. *)
+
+val unroll_all_stmt : Ast.stmt -> Ast.stmt
+val unroll_all_func : Ast.func -> Ast.func
+
+val unroll_all_program : Ast.program -> Ast.program
+(** Fully unroll every bounded for loop, innermost first; loops that
+    cannot unroll are left in place. *)
+
+val fuse_block : Ast.block -> Ast.block
+
+val fuse_program : Ast.program -> Ast.program
+(** Fuse single-use pure temporaries into their immediately following
+    consumer (`int t = a+b; x = t*c;` becomes `x = (a+b)*c;`) — only when
+    nothing can intervene between definition and use, so the classic
+    swap pattern is left alone.  Semantics-preserving (tested). *)

@@ -1,0 +1,589 @@
+(* Lowering: elaborated AST -> CIR.
+
+   All function calls are inlined (the scheduled backends target dialects
+   that forbid recursion; recursion is detected by an inline-depth bound and
+   reported).  Scalar locals and scalar globals become virtual registers;
+   every array becomes its own memory region — the partitioned-memory model.
+   Pointer operations are rejected here: the only dialect with pointers,
+   C2Verilog, uses the unified-memory stack machine backend instead.
+
+   Conventions established here and relied on downstream:
+     - T_branch is taken when its operand is nonzero;
+     - comparison instructions produce 1-bit values, immediately widened by
+       an I_cast when C's int-typed result is needed;
+     - locals without initializers read as zero (deterministic hardware). *)
+
+exception Error of string
+
+let error fmt = Printf.ksprintf (fun m -> raise (Error m)) fmt
+
+let max_inline_depth = 64
+
+type binding = B_reg of Cir.reg * Ctypes.t | B_region of int * Ctypes.t
+
+type builder = {
+  program : Ast.program;
+  mutable reg_widths : int array;
+  mutable reg_count : int;
+  mutable blocks : Cir.block array;
+  mutable block_count : int;
+  mutable current : int; (* block under construction *)
+  mutable pending : Cir.instr list; (* reversed instrs of current block *)
+  mutable scopes : (string, binding) Hashtbl.t list;
+  globals : (string, binding) Hashtbl.t;
+  mutable regions : Cir.region list; (* reversed *)
+  mutable region_count : int;
+  mutable loop_stack : (int * int) list; (* (continue target, break target) *)
+  mutable return_stack : (Cir.reg option * int) list; (* inline returns *)
+  mutable global_regs : (string * Cir.reg * Bitvec.t) list;
+  mutable constraints : (int * int * int * int * int) list;
+    (* block, first instr index, last instr index, min, max *)
+  mutable depth : int;
+}
+
+let new_reg b width =
+  if b.reg_count = Array.length b.reg_widths then begin
+    let bigger = Array.make (2 * b.reg_count) 0 in
+    Array.blit b.reg_widths 0 bigger 0 b.reg_count;
+    b.reg_widths <- bigger
+  end;
+  b.reg_widths.(b.reg_count) <- width;
+  b.reg_count <- b.reg_count + 1;
+  b.reg_count - 1
+
+let new_block b =
+  if b.block_count = Array.length b.blocks then begin
+    let bigger =
+      Array.make (2 * b.block_count)
+        { Cir.b_id = -1; instrs = []; term = Cir.T_return None }
+    in
+    Array.blit b.blocks 0 bigger 0 b.block_count;
+    b.blocks <- bigger
+  end;
+  let id = b.block_count in
+  b.blocks.(id) <- { Cir.b_id = id; instrs = []; term = Cir.T_return None };
+  b.block_count <- id + 1;
+  id
+
+(* Seal the current block with [term] and switch to building [next]. *)
+let finish_block b term next =
+  b.blocks.(b.current).instrs <- List.rev b.pending;
+  b.blocks.(b.current).term <- term;
+  b.pending <- [];
+  b.current <- next
+
+let emit b instr = b.pending <- instr :: b.pending
+
+let new_region b ~name ~words ~width ~init =
+  let rg =
+    { Cir.rg_name = name; rg_words = words; rg_width = width; rg_init = init }
+  in
+  b.regions <- rg :: b.regions;
+  b.region_count <- b.region_count + 1;
+  b.region_count - 1
+
+let push_scope b = b.scopes <- Hashtbl.create 8 :: b.scopes
+let pop_scope b = b.scopes <- List.tl b.scopes
+
+let bind b name binding =
+  match b.scopes with
+  | scope :: _ -> Hashtbl.replace scope name binding
+  | [] -> error "no scope"
+
+let lookup b name =
+  let rec go = function
+    | [] -> (
+      match Hashtbl.find_opt b.globals name with
+      | Some binding -> binding
+      | None -> error "unbound variable %s in lowering" name)
+    | scope :: rest -> (
+      match Hashtbl.find_opt scope name with
+      | Some binding -> binding
+      | None -> go rest)
+  in
+  go b.scopes
+
+let width_of ty = max 1 (Ctypes.width ty)
+
+let rec expr_pure (e : Ast.expr) =
+  match e.Ast.e with
+  | Ast.Const _ | Ast.Var _ -> true
+  | Ast.Unop (_, a) | Ast.Cast (_, a) -> expr_pure a
+  | Ast.Binop (_, a, b) -> expr_pure a && expr_pure b
+  | Ast.Index (a, b) -> expr_pure a && expr_pure b
+  | Ast.Cond (a, b, c) -> expr_pure a && expr_pure b && expr_pure c
+  | Ast.Assign _ | Ast.Call _ | Ast.Chan_recv _ | Ast.Deref _ | Ast.Addr_of _
+    -> false
+
+(* Resolve an expression of array/pointer type to a memory region.  Only
+   direct array names (possibly via array-typed parameters, which inlining
+   has already bound to regions) are supported in the pointer-free IR. *)
+let resolve_region b (e : Ast.expr) =
+  match e.Ast.e with
+  | Ast.Var name -> (
+    match lookup b name with
+    | B_region (rg, _) -> rg
+    | B_reg _ -> error "%s is not an array" name)
+  | Ast.Const _ | Ast.Unop _ | Ast.Binop _ | Ast.Assign _ | Ast.Cond _
+  | Ast.Call _ | Ast.Index _ | Ast.Deref _ | Ast.Addr_of _ | Ast.Cast _
+  | Ast.Chan_recv _ ->
+    error "pointer-valued expressions are not supported in CIR \
+           (use the c2verilog backend)"
+
+let bool_of b op ~negate =
+  (* Materialize a 1-bit nonzero test of [op]. *)
+  let one_bit = new_reg b 1 in
+  let width =
+    match op with
+    | Cir.O_reg r -> b.reg_widths.(r)
+    | Cir.O_imm bv -> Bitvec.width bv
+  in
+  let zero = Cir.O_imm (Bitvec.zero width) in
+  emit b
+    (Cir.I_bin
+       { op = (if negate then Netlist.B_eq else Netlist.B_ne);
+         dst = one_bit; a = op; b = zero });
+  one_bit
+
+let widen b reg ~width =
+  if b.reg_widths.(reg) = width then Cir.O_reg reg
+  else begin
+    let dst = new_reg b width in
+    emit b (Cir.I_cast { dst; signed = false; src = Cir.O_reg reg });
+    Cir.O_reg dst
+  end
+
+let int_width = Ctypes.width Ctypes.int_t
+
+let rec lower_expr b (e : Ast.expr) : Cir.operand =
+  match e.Ast.e with
+  | Ast.Const (v, ty) -> Cir.O_imm (Bitvec.of_int64 ~width:(width_of ty) v)
+  | Ast.Var name -> (
+    match lookup b name with
+    | B_reg (r, _) -> Cir.O_reg r
+    | B_region _ -> error "array %s used as a value" name)
+  | Ast.Unop (Ast.Log_not, a) ->
+    let a_op = lower_expr b a in
+    widen b (bool_of b a_op ~negate:true) ~width:int_width
+  | Ast.Unop (op, a) ->
+    let a_op = lower_expr b a in
+    let dst = new_reg b (width_of e.Ast.ty) in
+    let op =
+      match op with
+      | Ast.Neg -> Netlist.U_neg
+      | Ast.Bit_not -> Netlist.U_not
+      | Ast.Log_not -> assert false
+    in
+    emit b (Cir.I_un { op; dst; a = a_op });
+    Cir.O_reg dst
+  | Ast.Binop ((Ast.Log_and | Ast.Log_or) as op, x, y) ->
+    lower_short_circuit b op x y
+  | Ast.Binop (op, x, y) ->
+    let a = lower_expr b x in
+    let bop = lower_expr b y in
+    let signed = Ctypes.is_signed x.Ast.ty in
+    let netop =
+      match op with
+      | Ast.Add -> Netlist.B_add
+      | Ast.Sub -> Netlist.B_sub
+      | Ast.Mul -> Netlist.B_mul
+      | Ast.Div -> if signed then Netlist.B_sdiv else Netlist.B_udiv
+      | Ast.Mod -> if signed then Netlist.B_srem else Netlist.B_urem
+      | Ast.Band -> Netlist.B_and
+      | Ast.Bor -> Netlist.B_or
+      | Ast.Bxor -> Netlist.B_xor
+      | Ast.Shl -> Netlist.B_shl
+      | Ast.Shr -> if signed then Netlist.B_ashr else Netlist.B_lshr
+      | Ast.Eq -> Netlist.B_eq
+      | Ast.Ne -> Netlist.B_ne
+      | Ast.Lt -> if signed then Netlist.B_slt else Netlist.B_ult
+      | Ast.Le -> if signed then Netlist.B_sle else Netlist.B_ule
+      | Ast.Gt -> if signed then Netlist.B_slt else Netlist.B_ult
+      | Ast.Ge -> if signed then Netlist.B_sle else Netlist.B_ule
+      | Ast.Log_and | Ast.Log_or -> assert false
+    in
+    (* Gt/Ge are realized as Lt/Le with swapped operands. *)
+    let a, bop =
+      match op with Ast.Gt | Ast.Ge -> (bop, a) | _ -> (a, bop)
+    in
+    if Netlist.is_comparison netop then begin
+      let cmp = new_reg b 1 in
+      emit b (Cir.I_bin { op = netop; dst = cmp; a; b = bop });
+      widen b cmp ~width:(width_of e.Ast.ty)
+    end
+    else begin
+      let dst = new_reg b (width_of e.Ast.ty) in
+      emit b (Cir.I_bin { op = netop; dst; a; b = bop });
+      Cir.O_reg dst
+    end
+  | Ast.Assign (lhs, rhs) -> lower_assign b lhs rhs
+  | Ast.Cond (c, t, f) ->
+    if expr_pure t && expr_pure f then begin
+      let sel = lower_expr b c in
+      let sel_bit = bool_of b sel ~negate:false in
+      let vt = lower_expr b t and vf = lower_expr b f in
+      let dst = new_reg b (width_of e.Ast.ty) in
+      emit b
+        (Cir.I_mux
+           { dst; sel = Cir.O_reg sel_bit; if_true = vt; if_false = vf });
+      Cir.O_reg dst
+    end
+    else begin
+      (* Side-effecting arms need real control flow. *)
+      let dst = new_reg b (width_of e.Ast.ty) in
+      let bt = new_block b and bf = new_block b and join = new_block b in
+      let sel = lower_expr b c in
+      finish_block b
+        (Cir.T_branch { cond = sel; if_true = bt; if_false = bf })
+        bt;
+      let vt = lower_expr b t in
+      emit b (Cir.I_mov { dst; src = vt });
+      finish_block b (Cir.T_jump join) bf;
+      let vf = lower_expr b f in
+      emit b (Cir.I_mov { dst; src = vf });
+      finish_block b (Cir.T_jump join) join;
+      Cir.O_reg dst
+    end
+  | Ast.Call (name, args) -> lower_call b name args
+  | Ast.Index (base, idx) ->
+    let region = resolve_region b base in
+    let addr = lower_expr b idx in
+    let dst = new_reg b (width_of e.Ast.ty) in
+    emit b (Cir.I_load { dst; region; addr });
+    Cir.O_reg dst
+  | Ast.Cast (ty, a) ->
+    let src = lower_expr b a in
+    let target = width_of ty in
+    let source =
+      match src with
+      | Cir.O_reg r -> b.reg_widths.(r)
+      | Cir.O_imm bv -> Bitvec.width bv
+    in
+    if source = target then src
+    else begin
+      let dst = new_reg b target in
+      emit b (Cir.I_cast { dst; signed = Ctypes.is_signed a.Ast.ty; src });
+      Cir.O_reg dst
+    end
+  | Ast.Deref _ | Ast.Addr_of _ ->
+    error "pointer operation not supported in CIR (use c2verilog)"
+  | Ast.Chan_recv _ ->
+    error "channel operation not supported in CIR (handled by handelc)"
+
+and lower_short_circuit b op x y =
+  if expr_pure y then begin
+    let vx = lower_expr b x and vy = lower_expr b y in
+    let bx = bool_of b vx ~negate:false and by = bool_of b vy ~negate:false in
+    let dst = new_reg b 1 in
+    let netop =
+      match op with
+      | Ast.Log_and -> Netlist.B_and
+      | Ast.Log_or -> Netlist.B_or
+      | _ -> assert false
+    in
+    emit b (Cir.I_bin { op = netop; dst; a = Cir.O_reg bx; b = Cir.O_reg by });
+    widen b dst ~width:int_width
+  end
+  else begin
+    let dst = new_reg b int_width in
+    let eval_rhs = new_block b and skip = new_block b and join = new_block b in
+    let vx = lower_expr b x in
+    let bt, bf =
+      match op with
+      | Ast.Log_and -> (eval_rhs, skip)
+      | Ast.Log_or -> (skip, eval_rhs)
+      | _ -> assert false
+    in
+    finish_block b (Cir.T_branch { cond = vx; if_true = bt; if_false = bf })
+      eval_rhs;
+    let vy = lower_expr b y in
+    let by = bool_of b vy ~negate:false in
+    let wide = widen b by ~width:int_width in
+    emit b (Cir.I_mov { dst; src = wide });
+    finish_block b (Cir.T_jump join) skip;
+    let short_value =
+      match op with
+      | Ast.Log_and -> Bitvec.zero int_width
+      | Ast.Log_or -> Bitvec.one int_width
+      | _ -> assert false
+    in
+    emit b (Cir.I_mov { dst; src = Cir.O_imm short_value });
+    finish_block b (Cir.T_jump join) join;
+    Cir.O_reg dst
+  end
+
+and lower_assign b lhs rhs =
+  let value = lower_expr b rhs in
+  match lhs.Ast.e with
+  | Ast.Var name -> (
+    match lookup b name with
+    | B_reg (r, _) ->
+      emit b (Cir.I_mov { dst = r; src = value });
+      Cir.O_reg r
+    | B_region _ -> error "cannot assign to array %s" name)
+  | Ast.Index (base, idx) ->
+    let region = resolve_region b base in
+    let addr = lower_expr b idx in
+    emit b (Cir.I_store { region; addr; value });
+    value
+  | Ast.Deref _ -> error "pointer store not supported in CIR (use c2verilog)"
+  | Ast.Const _ | Ast.Unop _ | Ast.Binop _ | Ast.Assign _ | Ast.Cond _
+  | Ast.Call _ | Ast.Addr_of _ | Ast.Cast _ | Ast.Chan_recv _ ->
+    error "assignment to non-lvalue"
+
+and lower_call b name args =
+  let func =
+    match Ast.find_func b.program name with
+    | Some f -> f
+    | None -> error "call to undefined function %s" name
+  in
+  b.depth <- b.depth + 1;
+  if b.depth > max_inline_depth then
+    error "inlining depth exceeded: %s is recursive (use c2verilog)" name;
+  let frame = Hashtbl.create 8 in
+  List.iter2
+    (fun (ty, pname) arg ->
+      match ty with
+      | Ctypes.Array (elt, _) | Ctypes.Pointer elt ->
+        let rg = resolve_region b arg in
+        Hashtbl.replace frame pname (B_region (rg, Ctypes.Pointer elt))
+      | Ctypes.Void | Ctypes.Integer _ | Ctypes.Function _ ->
+        let v = lower_expr b arg in
+        let r = new_reg b (width_of ty) in
+        emit b (Cir.I_mov { dst = r; src = v });
+        Hashtbl.replace frame pname (B_reg (r, ty)))
+    func.Ast.f_params args;
+  let result =
+    if Ctypes.equal func.Ast.f_ret Ctypes.Void then None
+    else Some (new_reg b (width_of func.Ast.f_ret))
+  in
+  let exit_block = new_block b in
+  b.return_stack <- (result, exit_block) :: b.return_stack;
+  b.scopes <- frame :: b.scopes;
+  List.iter (lower_stmt b) func.Ast.f_body;
+  finish_block b (Cir.T_jump exit_block) exit_block;
+  b.scopes <- List.tl b.scopes;
+  b.return_stack <- List.tl b.return_stack;
+  b.depth <- b.depth - 1;
+  match result with
+  | Some r -> Cir.O_reg r
+  | None -> Cir.O_imm (Bitvec.zero 1)
+
+and lower_stmt b (st : Ast.stmt) =
+  match st.Ast.s with
+  | Ast.Expr e -> ignore (lower_expr b e)
+  | Ast.Decl (ty, name, init) -> (
+    match ty with
+    | Ctypes.Array (elt, n) ->
+      let rg =
+        new_region b ~name ~words:n ~width:(width_of elt) ~init:None
+      in
+      bind b name (B_region (rg, ty))
+    | Ctypes.Void | Ctypes.Integer _ | Ctypes.Pointer _ | Ctypes.Function _
+      ->
+      let r = new_reg b (width_of ty) in
+      bind b name (B_reg (r, ty));
+      let v =
+        match init with
+        | Some e -> lower_expr b e
+        | None -> Cir.O_imm (Bitvec.zero (width_of ty))
+      in
+      emit b (Cir.I_mov { dst = r; src = v }))
+  | Ast.If (c, t, f) ->
+    let bt = new_block b and bf = new_block b and join = new_block b in
+    let cond = lower_expr b c in
+    finish_block b (Cir.T_branch { cond; if_true = bt; if_false = bf }) bt;
+    lower_block b t;
+    finish_block b (Cir.T_jump join) bf;
+    lower_block b f;
+    finish_block b (Cir.T_jump join) join
+  | Ast.While (c, body) ->
+    let header = new_block b and body_b = new_block b and exit_b = new_block b in
+    finish_block b (Cir.T_jump header) header;
+    let cond = lower_expr b c in
+    finish_block b
+      (Cir.T_branch { cond; if_true = body_b; if_false = exit_b })
+      body_b;
+    b.loop_stack <- (header, exit_b) :: b.loop_stack;
+    lower_block b body;
+    b.loop_stack <- List.tl b.loop_stack;
+    finish_block b (Cir.T_jump header) exit_b
+  | Ast.Do_while (body, c) ->
+    let body_b = new_block b and test_b = new_block b and exit_b = new_block b in
+    finish_block b (Cir.T_jump body_b) body_b;
+    b.loop_stack <- (test_b, exit_b) :: b.loop_stack;
+    lower_block b body;
+    b.loop_stack <- List.tl b.loop_stack;
+    finish_block b (Cir.T_jump test_b) test_b;
+    let cond = lower_expr b c in
+    finish_block b
+      (Cir.T_branch { cond; if_true = body_b; if_false = exit_b })
+      exit_b
+  | Ast.For (init, cond, stepper, body) ->
+    push_scope b;
+    (match init with None -> () | Some st -> lower_stmt b st);
+    let header = new_block b
+    and body_b = new_block b
+    and step_b = new_block b
+    and exit_b = new_block b in
+    finish_block b (Cir.T_jump header) header;
+    (match cond with
+    | None -> finish_block b (Cir.T_jump body_b) body_b
+    | Some c ->
+      let cv = lower_expr b c in
+      finish_block b
+        (Cir.T_branch { cond = cv; if_true = body_b; if_false = exit_b })
+        body_b);
+    b.loop_stack <- (step_b, exit_b) :: b.loop_stack;
+    lower_block b body;
+    b.loop_stack <- List.tl b.loop_stack;
+    finish_block b (Cir.T_jump step_b) step_b;
+    (match stepper with None -> () | Some e -> ignore (lower_expr b e));
+    finish_block b (Cir.T_jump header) exit_b;
+    pop_scope b
+  | Ast.Return value -> (
+    let v = Option.map (lower_expr b) value in
+    match b.return_stack with
+    | [] ->
+      let dead = new_block b in
+      finish_block b (Cir.T_return v) dead
+    | (result, exit_block) :: _ ->
+      (match (result, v) with
+      | Some r, Some v -> emit b (Cir.I_mov { dst = r; src = v })
+      | Some _, None | None, Some _ | None, None -> ());
+      let dead = new_block b in
+      finish_block b (Cir.T_jump exit_block) dead)
+  | Ast.Break -> (
+    match b.loop_stack with
+    | [] -> error "break outside loop"
+    | (_, exit_b) :: _ ->
+      let dead = new_block b in
+      finish_block b (Cir.T_jump exit_b) dead)
+  | Ast.Continue -> (
+    match b.loop_stack with
+    | [] -> error "continue outside loop"
+    | (cont_b, _) :: _ ->
+      let dead = new_block b in
+      finish_block b (Cir.T_jump cont_b) dead)
+  | Ast.Block body -> lower_block b body
+  | Ast.Constrain (min_c, max_c, body) ->
+    let start_block = b.current in
+    let start_index = List.length b.pending in
+    lower_block b body;
+    if b.current <> start_block then
+      error "constrain body must be straight-line code";
+    let end_index = List.length b.pending - 1 in
+    if end_index >= start_index then
+      b.constraints <-
+        (start_block, start_index, end_index, min_c, max_c) :: b.constraints
+  | Ast.Par _ | Ast.Chan_send _ ->
+    error "par/channels not representable in CIR (handled by handelc)"
+  | Ast.Delay -> () (* a scheduling hint with no sequential meaning *)
+
+and lower_block b body =
+  push_scope b;
+  List.iter (lower_stmt b) body;
+  pop_scope b
+
+type result = {
+  func : Cir.func;
+  constraints : (int * int * int * int * int) list;
+    (* block, first, last instruction index, min cycles, max cycles *)
+}
+
+(** Lower the entry function of [program] (type-checked) to CIR. *)
+let lower_program (program : Ast.program) ~entry : result =
+  let func =
+    match Ast.find_func program entry with
+    | Some f -> f
+    | None -> error "entry function %s not found" entry
+  in
+  let b =
+    { program;
+      reg_widths = Array.make 64 0;
+      reg_count = 0;
+      blocks = Array.make 16 { Cir.b_id = -1; instrs = []; term = Cir.T_return None };
+      block_count = 0;
+      current = 0;
+      pending = [];
+      scopes = [];
+      globals = Hashtbl.create 16;
+      regions = [];
+      region_count = 0;
+      loop_stack = [];
+      return_stack = [];
+      global_regs = [];
+      constraints = [];
+      depth = 0 }
+  in
+  let entry_block = new_block b in
+  b.current <- entry_block;
+  (* Globals: arrays become initialized regions, scalars become registers
+     initialized before the entry code. *)
+  List.iter
+    (fun (g : Ast.global) ->
+      match g.Ast.g_ty with
+      | Ctypes.Array (elt, n) ->
+        let width = width_of elt in
+        let init =
+          match g.Ast.g_init with
+          | None -> Some (Array.make n (Bitvec.zero width))
+          | Some values ->
+            let a = Array.make n (Bitvec.zero width) in
+            List.iteri
+              (fun i v -> if i < n then a.(i) <- Bitvec.of_int64 ~width v)
+              values;
+            Some a
+        in
+        let rg = new_region b ~name:g.Ast.g_name ~words:n ~width ~init in
+        Hashtbl.replace b.globals g.Ast.g_name (B_region (rg, g.Ast.g_ty))
+      | Ctypes.Void | Ctypes.Integer _ | Ctypes.Pointer _ | Ctypes.Function _
+        ->
+        let width = width_of g.Ast.g_ty in
+        let r = new_reg b width in
+        let init =
+          match g.Ast.g_init with
+          | Some [ v ] -> Bitvec.of_int64 ~width v
+          | Some _ | None -> Bitvec.zero width
+        in
+        b.global_regs <- (g.Ast.g_name, r, init) :: b.global_regs;
+        Hashtbl.replace b.globals g.Ast.g_name (B_reg (r, g.Ast.g_ty)))
+    program.Ast.globals;
+  (* Entry parameters must be scalars: they become hardware input ports. *)
+  push_scope b;
+  let params =
+    List.map
+      (fun (ty, name) ->
+        match ty with
+        | Ctypes.Integer _ ->
+          let r = new_reg b (width_of ty) in
+          bind b name (B_reg (r, ty));
+          (name, r)
+        | Ctypes.Void | Ctypes.Pointer _ | Ctypes.Array _ | Ctypes.Function _
+          ->
+          error "entry parameter %s must be a scalar integer" name)
+      func.Ast.f_params
+  in
+  List.iter (lower_stmt b) func.Ast.f_body;
+  (* Fall off the end: return 0/void. *)
+  let ret_width = max 0 (Ctypes.width func.Ast.f_ret) in
+  let final_term =
+    if ret_width = 0 then Cir.T_return None
+    else Cir.T_return (Some (Cir.O_imm (Bitvec.zero ret_width)))
+  in
+  let dead = new_block b in
+  finish_block b final_term dead;
+  finish_block b (Cir.T_return None) dead;
+  pop_scope b;
+  let fn =
+    { Cir.fn_name = entry;
+      fn_params = params;
+      fn_ret_width = ret_width;
+      fn_blocks = Array.sub b.blocks 0 b.block_count;
+      fn_entry = entry_block;
+      fn_reg_widths = Array.sub b.reg_widths 0 b.reg_count;
+      fn_reg_count = b.reg_count;
+      fn_regions = Array.of_list (List.rev b.regions);
+      fn_globals = List.rev b.global_regs }
+  in
+  { func = fn; constraints = List.rev b.constraints }

@@ -1,0 +1,31 @@
+(** Lowering: elaborated AST -> CIR.
+
+    All function calls are inlined (the scheduled backends target
+    dialects without recursion; recursion hits the depth bound and is
+    reported).  Scalar locals/globals become virtual registers; every
+    array becomes its own memory region (the partitioned-memory model).
+    Pointer operations are rejected — the C2Verilog stack machine is the
+    pointer-capable path.
+
+    Conventions relied on downstream: [T_branch] is taken when nonzero;
+    comparisons produce 1-bit values immediately widened by an [I_cast];
+    locals without initializers read as zero. *)
+
+exception Error of string
+
+val max_inline_depth : int
+
+val expr_pure : Ast.expr -> bool
+(** No assignments, calls, or channel operations anywhere inside. *)
+
+type result = {
+  func : Cir.func;
+  constraints : (int * int * int * int * int) list;
+      (** HardwareC ranges: block, first and last instruction index,
+          min cycles, max cycles (see Constrain.of_lowering) *)
+}
+
+val lower_program : Ast.program -> entry:string -> result
+(** Lower the entry function of a type-checked program.
+    @raise Error on pointers, channels/par, recursion, or non-scalar
+    entry parameters. *)

@@ -1,0 +1,274 @@
+(* Andersen-style points-to analysis over the AST.
+
+   The paper: C's "pointer semantics ... demands compilers with aggressive
+   optimization to perform costly pointer analysis."  This is that
+   analysis: flow-insensitive, field-insensitive (arrays are smashed to a
+   single abstract location), with inclusion constraints solved by a
+   worklist.
+
+   Abstract locations are declared variables, qualified by their function
+   ("f::x") or "::g" for globals.  The c2verilog backend uses the result to
+   decide whether the unified byte-soup memory can be partitioned into
+   per-region banks (experiment E9 reports the difference), and tests
+   exercise may-alias queries. *)
+
+module Sset = Set.Make (String)
+
+type constraint_kind =
+  | Addr_of of string * string (* p = &x : x in pts(p) *)
+  | Copy of string * string (* p = q : pts(q) subset pts(p) *)
+  | Load of string * string (* p = *q : forall x in pts(q), pts(x) subset pts(p) *)
+  | Store of string * string (* *p = q : forall x in pts(p), pts(q) subset pts(x) *)
+
+type result = {
+  points_to : (string, Sset.t) Hashtbl.t;
+  locations : string list; (* all abstract locations *)
+}
+
+let qualified func_name var = func_name ^ "::" ^ var
+
+(* Which qualified name does an identifier refer to, and what was its
+   declared type?  Locals shadow globals; we approximate scoping by
+   checking whether the function declares the name anywhere (sound for the
+   analysis's purposes).  The declared type matters because the type
+   checker rewrites the type of an array rvalue to a pointer, so only the
+   declaration still distinguishes "array name" (an address) from "pointer
+   variable" (a copy source). *)
+type name_env = {
+  resolve : string -> string;
+  declared_ty : string -> Ctypes.t option;
+}
+
+let resolver (program : Ast.program) (func : Ast.func) : name_env =
+  let local_types = Hashtbl.create 16 in
+  List.iter
+    (fun (ty, name) -> Hashtbl.replace local_types name ty)
+    func.Ast.f_params;
+  Ast.iter_func
+    ~stmt:(fun st ->
+      match st.Ast.s with
+      | Ast.Decl (ty, name, _) -> Hashtbl.replace local_types name ty
+      | Ast.Expr _ | Ast.If _ | Ast.While _ | Ast.Do_while _ | Ast.For _
+      | Ast.Return _ | Ast.Break | Ast.Continue | Ast.Block _ | Ast.Par _
+      | Ast.Chan_send _ | Ast.Delay | Ast.Constrain _ -> ())
+    ~expr:(fun _ -> ())
+    func;
+  let resolve name =
+    if Hashtbl.mem local_types name then qualified func.Ast.f_name name
+    else if Ast.find_global program name <> None then qualified "" name
+    else qualified func.Ast.f_name name
+  in
+  let declared_ty name =
+    match Hashtbl.find_opt local_types name with
+    | Some ty -> Some ty
+    | None -> (
+      match Ast.find_global program name with
+      | Some g -> Some g.Ast.g_ty
+      | None -> None)
+  in
+  { resolve; declared_ty }
+
+(* The "pointer value" of an expression, as a set of constraint sources:
+   either names whose points-to flows in, or names whose address flows in. *)
+type pvalue = { copies : string list; addresses : string list; loads : string list }
+
+let empty_pvalue = { copies = []; addresses = []; loads = [] }
+
+let merge a b =
+  { copies = a.copies @ b.copies;
+    addresses = a.addresses @ b.addresses;
+    loads = a.loads @ b.loads }
+
+let rec pvalue_of env (e : Ast.expr) : pvalue =
+  match e.Ast.e with
+  | Ast.Var name -> (
+    (* An array name used as a value is an address; a pointer variable is a
+       copy source.  Consult the declaration, not the (decayed) node type. *)
+    match env.declared_ty name with
+    | Some (Ctypes.Array _) ->
+      { empty_pvalue with addresses = [ env.resolve name ] }
+    | Some (Ctypes.Pointer _) ->
+      { empty_pvalue with copies = [ env.resolve name ] }
+    | Some (Ctypes.Void | Ctypes.Integer _ | Ctypes.Function _) | None ->
+      empty_pvalue)
+  | Ast.Addr_of inner -> (
+    match base_location env inner with
+    | Some loc -> { empty_pvalue with addresses = [ loc ] }
+    | None -> empty_pvalue)
+  | Ast.Deref inner | Ast.Index (inner, _) -> (
+    match Ctypes.decay e.Ast.ty with
+    | Ctypes.Pointer _ ->
+      (* loading a pointer through a pointer *)
+      let base = pvalue_of env inner in
+      { empty_pvalue with loads = base.copies @ base.addresses }
+    | Ctypes.Void | Ctypes.Integer _ | Ctypes.Array _ | Ctypes.Function _ ->
+      empty_pvalue)
+  | Ast.Binop (_, a, b) -> merge (pvalue_of env a) (pvalue_of env b)
+  | Ast.Cast (_, a) | Ast.Unop (_, a) -> pvalue_of env a
+  | Ast.Cond (_, t, f) -> merge (pvalue_of env t) (pvalue_of env f)
+  | Ast.Assign (_, rhs) -> pvalue_of env rhs
+  | Ast.Call _ ->
+    (* handled via per-function return locations *)
+    empty_pvalue
+  | Ast.Const _ | Ast.Chan_recv _ -> empty_pvalue
+
+and base_location env (e : Ast.expr) =
+  match e.Ast.e with
+  | Ast.Var name -> Some (env.resolve name)
+  | Ast.Index (base, _) -> base_location env base
+  | Ast.Deref _ -> None (* &*p = p handled in pvalue_of via copies *)
+  | Ast.Const _ | Ast.Unop _ | Ast.Binop _ | Ast.Assign _ | Ast.Cond _
+  | Ast.Call _ | Ast.Addr_of _ | Ast.Cast _ | Ast.Chan_recv _ -> None
+
+(** Run the analysis over a type-checked program. *)
+let analyze (program : Ast.program) : result =
+  let constraints = ref [] in
+  let add c = constraints := c :: !constraints in
+  let locations = ref Sset.empty in
+  List.iter
+    (fun (g : Ast.global) ->
+      locations := Sset.add (qualified "" g.Ast.g_name) !locations)
+    program.Ast.globals;
+  let constrain_flow target (pv : pvalue) =
+    List.iter (fun src -> add (Copy (target, src))) pv.copies;
+    List.iter (fun loc -> add (Addr_of (target, loc))) pv.addresses;
+    List.iter (fun src -> add (Load (target, src))) pv.loads
+  in
+  let process_func (func : Ast.func) =
+    let env = resolver program func in
+    List.iter
+      (fun (_, name) -> locations := Sset.add (env.resolve name) !locations)
+      func.Ast.f_params;
+    let return_loc = qualified func.Ast.f_name "$return" in
+    let handle_assign lhs rhs =
+      match Ctypes.decay lhs.Ast.ty with
+      | Ctypes.Pointer _ -> (
+        let pv = pvalue_of env rhs in
+        match lhs.Ast.e with
+        | Ast.Var name -> constrain_flow (env.resolve name) pv
+        | Ast.Deref inner | Ast.Index (inner, _) ->
+          let base = pvalue_of env inner in
+          List.iter
+            (fun p ->
+              List.iter (fun src -> add (Store (p, src))) pv.copies)
+            (base.copies @ base.addresses)
+        | Ast.Const _ | Ast.Unop _ | Ast.Binop _ | Ast.Assign _ | Ast.Cond _
+        | Ast.Call _ | Ast.Addr_of _ | Ast.Cast _ | Ast.Chan_recv _ -> ())
+      | Ctypes.Void | Ctypes.Integer _ | Ctypes.Array _ | Ctypes.Function _
+        -> ()
+    in
+    let handle_expr (e : Ast.expr) =
+      match e.Ast.e with
+      | Ast.Assign (lhs, rhs) -> handle_assign lhs rhs
+      | Ast.Call (callee, args) -> (
+        match Ast.find_func program callee with
+        | None -> ()
+        | Some cf ->
+          List.iter2
+            (fun (pty, pname) arg ->
+              match Ctypes.decay pty with
+              | Ctypes.Pointer _ ->
+                let target = qualified cf.Ast.f_name pname in
+                locations := Sset.add target !locations;
+                constrain_flow target (pvalue_of env arg)
+              | Ctypes.Void | Ctypes.Integer _ | Ctypes.Array _
+              | Ctypes.Function _ -> ())
+            cf.Ast.f_params args)
+      | Ast.Const _ | Ast.Var _ | Ast.Unop _ | Ast.Binop _ | Ast.Cond _
+      | Ast.Index _ | Ast.Deref _ | Ast.Addr_of _ | Ast.Cast _
+      | Ast.Chan_recv _ -> ()
+    in
+    let handle_stmt (st : Ast.stmt) =
+      match st.Ast.s with
+      | Ast.Decl (ty, name, init) -> (
+        locations := Sset.add (env.resolve name) !locations;
+        match (Ctypes.decay ty, init) with
+        | Ctypes.Pointer _, Some rhs ->
+          constrain_flow (env.resolve name) (pvalue_of env rhs)
+        | _, _ -> ())
+      | Ast.Return (Some e) -> (
+        match Ctypes.decay e.Ast.ty with
+        | Ctypes.Pointer _ ->
+          constrain_flow return_loc (pvalue_of env e)
+        | Ctypes.Void | Ctypes.Integer _ | Ctypes.Array _
+        | Ctypes.Function _ -> ())
+      | Ast.Expr _ | Ast.If _ | Ast.While _ | Ast.Do_while _ | Ast.For _
+      | Ast.Return None | Ast.Break | Ast.Continue | Ast.Block _ | Ast.Par _
+      | Ast.Chan_send _ | Ast.Delay | Ast.Constrain _ -> ()
+    in
+    Ast.iter_func ~stmt:handle_stmt ~expr:handle_expr func
+  in
+  List.iter process_func program.Ast.funcs;
+  (* Also connect call results: x = f(...) with pointer-returning f. *)
+  List.iter
+    (fun (func : Ast.func) ->
+      let env = resolver program func in
+      Ast.iter_func
+        ~stmt:(fun _ -> ())
+        ~expr:(fun e ->
+          match e.Ast.e with
+          | Ast.Assign ({ e = Ast.Var name; ty; _ }, { e = Ast.Call (callee, _); _ })
+            when Ctypes.is_pointer (Ctypes.decay ty) ->
+            add (Copy (env.resolve name, qualified callee "$return"))
+          | Ast.Const _ | Ast.Var _ | Ast.Unop _ | Ast.Binop _ | Ast.Assign _
+          | Ast.Cond _ | Ast.Call _ | Ast.Index _ | Ast.Deref _
+          | Ast.Addr_of _ | Ast.Cast _ | Ast.Chan_recv _ -> ())
+        func)
+    program.Ast.funcs;
+  (* worklist solving *)
+  let points_to : (string, Sset.t) Hashtbl.t = Hashtbl.create 64 in
+  let pts v =
+    match Hashtbl.find_opt points_to v with
+    | Some s -> s
+    | None -> Sset.empty
+  in
+  let changed = ref true in
+  List.iter
+    (fun c ->
+      match c with
+      | Addr_of (p, x) ->
+        Hashtbl.replace points_to p (Sset.add x (pts p));
+        locations := Sset.add x !locations
+      | Copy _ | Load _ | Store _ -> ())
+    !constraints;
+  while !changed do
+    changed := false;
+    let update target set =
+      let old = pts target in
+      let merged = Sset.union old set in
+      if not (Sset.equal old merged) then begin
+        Hashtbl.replace points_to target merged;
+        changed := true
+      end
+    in
+    List.iter
+      (fun c ->
+        match c with
+        | Addr_of _ -> ()
+        | Copy (p, q) -> update p (pts q)
+        | Load (p, q) ->
+          Sset.iter (fun x -> update p (pts x)) (pts q)
+        | Store (p, q) ->
+          Sset.iter (fun x -> update x (pts q)) (pts p))
+      !constraints
+  done;
+  { points_to; locations = Sset.elements !locations }
+
+let points_to result var =
+  match Hashtbl.find_opt result.points_to var with
+  | Some s -> Sset.elements s
+  | None -> []
+
+(** May two pointer variables reference the same location? *)
+let may_alias result p q =
+  let sp = Sset.of_list (points_to result p)
+  and sq = Sset.of_list (points_to result q) in
+  not (Sset.is_empty (Sset.inter sp sq))
+
+(** True when every pointer in the program resolves to exactly one abstract
+    location — the condition under which the unified memory can be
+    partitioned into independent banks. *)
+let fully_partitionable result =
+  Hashtbl.fold
+    (fun _ s acc -> acc && Sset.cardinal s <= 1)
+    result.points_to true

@@ -1,0 +1,23 @@
+(** Andersen-style points-to analysis over the AST — the paper's "costly
+    pointer analysis" that C's pointer semantics demands.
+
+    Flow-insensitive, field-insensitive (arrays smashed to one abstract
+    location), inclusion constraints solved by a worklist.  Abstract
+    locations are declared variables qualified by their function
+    ("f::x"), or "::g" for globals. *)
+
+type result
+
+val analyze : Ast.program -> result
+(** Run over a type-checked program. *)
+
+val points_to : result -> string -> string list
+(** The abstract locations a qualified pointer variable may reference. *)
+
+val may_alias : result -> string -> string -> bool
+(** May two pointer variables reference the same location? *)
+
+val fully_partitionable : result -> bool
+(** True when every pointer resolves to at most one abstract location —
+    the condition under which a unified memory can be banked per array
+    (experiment E9). *)

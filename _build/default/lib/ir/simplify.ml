@@ -1,0 +1,108 @@
+(* CFG simplification: jump threading and straight-line block merging.
+
+   Lowering produces many tiny blocks (join points, dead continuations).
+   The FSMD backends charge at least one state per block, so without this
+   pass every loop iteration would pay for its bookkeeping blocks; after
+   it, a simple loop is header + merged body/latch, which is what the
+   implicit-clocking rules the paper describes actually charge. *)
+
+(* Follow chains of empty forwarding blocks (no instrs, unconditional
+   jump), avoiding cycles. *)
+let resolve_target func =
+  let rec follow seen b =
+    if List.mem b seen then b
+    else
+      let blk = Cir.block func b in
+      match (blk.Cir.instrs, blk.Cir.term) with
+      | [], Cir.T_jump next -> follow (b :: seen) next
+      | _, _ -> b
+  in
+  follow []
+
+let retarget_terminator resolve = function
+  | Cir.T_jump l -> Cir.T_jump (resolve l)
+  | Cir.T_branch { cond; if_true; if_false } ->
+    Cir.T_branch
+      { cond; if_true = resolve if_true; if_false = resolve if_false }
+  | Cir.T_return v -> Cir.T_return v
+
+(** Simplify [func]: thread jumps through empty blocks, merge single-
+    predecessor blocks into their unconditional-jump predecessor, drop
+    unreachable blocks, and renumber densely.  Returns a new function and
+    the mapping from old block ids to new ones (-1 = removed). *)
+let simplify (func : Cir.func) : Cir.func * int array =
+  let n = Cir.num_blocks func in
+  (* 1. jump threading *)
+  let resolve = resolve_target func in
+  let threaded =
+    Array.map
+      (fun blk ->
+        { blk with Cir.term = retarget_terminator resolve blk.Cir.term })
+      func.Cir.fn_blocks
+  in
+  let func = { func with Cir.fn_blocks = threaded } in
+  let entry = resolve func.Cir.fn_entry in
+  let func = { func with Cir.fn_entry = entry } in
+  (* 2. merge straight-line chains, walking from the entry *)
+  let preds = Cfg.compute_preds func in
+  let merged_into = Array.make n (-1) in
+  let rec chain_of b =
+    let blk = Cir.block func b in
+    match blk.Cir.term with
+    | Cir.T_jump next
+      when next <> b && next <> entry
+           && List.length preds.(next) = 1
+           && merged_into.(next) = -1 ->
+      merged_into.(next) <- b;
+      blk.Cir.instrs <- blk.Cir.instrs @ (Cir.block func next).Cir.instrs;
+      blk.Cir.term <- (Cir.block func next).Cir.term;
+      chain_of b
+    | Cir.T_jump _ | Cir.T_branch _ | Cir.T_return _ -> ()
+  in
+  (* visit in reverse postorder so heads absorb their chains first *)
+  let rpo = Cfg.compute_rpo func in
+  Array.iter (fun b -> if merged_into.(b) = -1 then chain_of b) rpo;
+  (* 3. keep reachable, unmerged blocks; renumber *)
+  let reachable = Array.make n false in
+  let rec mark b =
+    if not reachable.(b) then begin
+      reachable.(b) <- true;
+      List.iter mark (Cir.successors (Cir.block func b))
+    end
+  in
+  mark entry;
+  let mapping = Array.make n (-1) in
+  let kept = ref [] in
+  let next_id = ref 0 in
+  for b = 0 to n - 1 do
+    if reachable.(b) && merged_into.(b) = -1 then begin
+      mapping.(b) <- !next_id;
+      incr next_id;
+      kept := b :: !kept
+    end
+  done;
+  let remap l =
+    if mapping.(l) >= 0 then mapping.(l)
+    else invalid_arg "Simplify: jump to a merged block survived"
+  in
+  let new_blocks =
+    List.rev_map
+      (fun b ->
+        let blk = Cir.block func b in
+        { Cir.b_id = mapping.(b);
+          instrs = blk.Cir.instrs;
+          term =
+            (match blk.Cir.term with
+            | Cir.T_jump l -> Cir.T_jump (remap l)
+            | Cir.T_branch { cond; if_true; if_false } ->
+              Cir.T_branch
+                { cond; if_true = remap if_true; if_false = remap if_false }
+            | Cir.T_return v -> Cir.T_return v) })
+      !kept
+    |> Array.of_list
+  in
+  Array.sort (fun a b -> compare a.Cir.b_id b.Cir.b_id) new_blocks;
+  ( { func with
+      Cir.fn_blocks = new_blocks;
+      fn_entry = mapping.(entry) },
+    mapping )

@@ -1,0 +1,13 @@
+(** CFG simplification: jump threading and straight-line block merging.
+
+    Lowering produces many tiny blocks; the FSMD backends charge at least
+    one state per block, so this pass determines what an "iteration" costs
+    under the implicit-clocking rules (a simple loop becomes header +
+    merged body/latch). *)
+
+val simplify : Cir.func -> Cir.func * int array
+(** Thread jumps through empty blocks, merge single-predecessor blocks
+    into their unconditional-jump predecessor, drop unreachable blocks and
+    renumber densely.  Returns the new function and the old-to-new block
+    id mapping (-1 = removed).  Semantics-preserving (tested against the
+    CIR interpreter). *)

@@ -1,0 +1,1 @@
+lib/rtl/fsmd.ml: Array Cir Float Format Fun List Schedule

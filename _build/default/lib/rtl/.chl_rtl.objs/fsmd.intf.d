@@ -1,0 +1,1 @@
+lib/rtl/fsmd.mli: Cir Format Schedule

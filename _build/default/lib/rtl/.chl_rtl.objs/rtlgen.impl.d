@@ -1,0 +1,1 @@
+lib/rtl/rtlgen.ml: Area Array Bitvec Cir Fsmd Hashtbl List Neteval Netlist Printf

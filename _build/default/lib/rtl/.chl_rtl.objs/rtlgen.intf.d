@@ -1,0 +1,1 @@
+lib/rtl/rtlgen.mli: Bitvec Cir Fsmd Netlist

@@ -1,0 +1,1 @@
+lib/rtl/rtlsim.ml: Array Bitvec Cir Fsmd List Neteval Option Printf

@@ -1,0 +1,1 @@
+lib/rtl/rtlsim.mli: Bitvec Fsmd

@@ -1,0 +1,112 @@
+(* Cycle-accurate FSMD simulator.
+
+   One simulation step = one clock cycle = one FSM state.  Within a state,
+   actions execute in order with immediate register visibility (that is
+   chaining-by-wire; the scheduler guarantees the order is legal), memory
+   stores are buffered to the end of the cycle unless the design uses
+   forwarding register-file memories, and loads read the pre-state
+   contents. *)
+
+exception Timeout
+exception Runtime_error of string
+
+type outcome = {
+  return_value : Bitvec.t option;
+  cycles : int;
+  globals : (string * Bitvec.t) list;
+  memories : (string * Bitvec.t array) list;
+  states_visited : int array; (* visit count per state, for profiling *)
+}
+
+let run ?(max_cycles = 2_000_000) (fsmd : Fsmd.t) ~args : outcome =
+  let func = fsmd.Fsmd.func in
+  let regs =
+    Array.init func.Cir.fn_reg_count (fun r ->
+        Bitvec.zero (max 1 func.Cir.fn_reg_widths.(r)))
+  in
+  let memories =
+    Array.map
+      (fun (rg : Cir.region) ->
+        match rg.Cir.rg_init with
+        | Some init -> Array.copy init
+        | None -> Array.make rg.Cir.rg_words (Bitvec.zero rg.Cir.rg_width))
+      func.Cir.fn_regions
+  in
+  List.iter (fun (_, r, init) -> regs.(r) <- init) func.Cir.fn_globals;
+  if List.length args <> List.length func.Cir.fn_params then
+    raise
+      (Runtime_error
+         (Printf.sprintf "%s expects %d args" func.Cir.fn_name
+            (List.length func.Cir.fn_params)));
+  List.iter2
+    (fun (_, r) v ->
+      regs.(r) <- Bitvec.resize ~signed:true ~width:(Cir.reg_width func r) v)
+    func.Cir.fn_params args;
+  let value = function
+    | Cir.O_imm bv -> bv
+    | Cir.O_reg r -> regs.(r)
+  in
+  let visited = Array.make (Fsmd.num_states fsmd) 0 in
+  let cycles = ref 0 in
+  let state = ref fsmd.Fsmd.entry in
+  let result = ref None in
+  let halted = ref false in
+  while not !halted do
+    if !cycles >= max_cycles then raise Timeout;
+    incr cycles;
+    let st = fsmd.Fsmd.states.(!state) in
+    visited.(!state) <- visited.(!state) + 1;
+    let store_buffer = ref [] in
+    List.iter
+      (fun instr ->
+        match instr with
+        | Cir.I_bin { op; dst; a; b } ->
+          regs.(dst) <- Neteval.apply_binop op (value a) (value b)
+        | Cir.I_un { op; dst; a } ->
+          regs.(dst) <- Neteval.apply_unop op (value a)
+        | Cir.I_mov { dst; src } -> regs.(dst) <- value src
+        | Cir.I_cast { dst; signed; src } ->
+          regs.(dst) <-
+            Bitvec.resize ~signed ~width:(Cir.reg_width func dst) (value src)
+        | Cir.I_mux { dst; sel; if_true; if_false } ->
+          regs.(dst) <-
+            (if Bitvec.to_bool (value sel) then value if_true
+             else value if_false)
+        | Cir.I_load { dst; region; addr } ->
+          let mem = memories.(region) in
+          let a = Bitvec.to_int_unsigned (value addr) in
+          regs.(dst) <-
+            (if a < Array.length mem then mem.(a)
+             else Bitvec.zero (Cir.reg_width func dst))
+        | Cir.I_store { region; addr; value = v } ->
+          let a = Bitvec.to_int_unsigned (value addr) in
+          if fsmd.Fsmd.mem_forwarding then begin
+            let mem = memories.(region) in
+            if a < Array.length mem then mem.(a) <- value v
+          end
+          else store_buffer := (region, a, value v) :: !store_buffer)
+      st.Fsmd.actions;
+    (* clock edge: apply buffered stores, then transition *)
+    List.iter
+      (fun (region, a, v) ->
+        let mem = memories.(region) in
+        if a < Array.length mem then mem.(a) <- v)
+      (List.rev !store_buffer);
+    (match st.Fsmd.next with
+    | Fsmd.N_goto target -> state := target
+    | Fsmd.N_branch { cond; if_true; if_false } ->
+      state := (if Bitvec.to_bool (value cond) then if_true else if_false)
+    | Fsmd.N_halt v ->
+      result := Option.map value v;
+      halted := true)
+  done;
+  { return_value = !result;
+    cycles = !cycles;
+    globals =
+      List.map (fun (name, r, _) -> (name, regs.(r))) func.Cir.fn_globals;
+    memories =
+      Array.to_list
+        (Array.mapi
+           (fun i (rg : Cir.region) -> (rg.Cir.rg_name, memories.(i)))
+           func.Cir.fn_regions);
+    states_visited = visited }

@@ -1,0 +1,17 @@
+(** Cycle-accurate FSMD simulator: one step = one clock = one state.
+    Within a state, actions execute in order with immediate register
+    visibility (chaining-by-wire); stores are buffered to the cycle end
+    unless the design uses forwarding register-file memories. *)
+
+exception Timeout
+exception Runtime_error of string
+
+type outcome = {
+  return_value : Bitvec.t option;
+  cycles : int;
+  globals : (string * Bitvec.t) list;
+  memories : (string * Bitvec.t array) list;
+  states_visited : int array;  (** visit count per state (profiling) *)
+}
+
+val run : ?max_cycles:int -> Fsmd.t -> args:Bitvec.t list -> outcome

@@ -1,0 +1,1 @@
+lib/sched/constrain.ml: Array Cir List Schedule

@@ -1,0 +1,1 @@
+lib/sched/constrain.mli: Cir Schedule

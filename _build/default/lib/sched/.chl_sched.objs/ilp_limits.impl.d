@@ -1,0 +1,1 @@
+lib/sched/ilp_limits.ml: Array Bitvec Cir Cir_interp Hashtbl List Option

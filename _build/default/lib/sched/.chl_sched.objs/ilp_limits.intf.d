@@ -1,0 +1,1 @@
+lib/sched/ilp_limits.mli: Cir

@@ -1,0 +1,1 @@
+lib/sched/pipeline.ml: Array Cfg Cir Dep Fun Hashtbl List Netlist Option Schedule

@@ -1,0 +1,1 @@
+lib/sched/schedule.ml: Area Array Bitvec Cir Dep Float Fun Hashtbl List Netlist

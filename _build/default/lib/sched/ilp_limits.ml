@@ -1,0 +1,130 @@
+(* Wall-style instruction-level parallelism limit study — experiment E1.
+
+   The paper: "it seems that ILP beyond about five simultaneous
+   instructions is unlikely due to fundamental limits [25, 26]" (Wall,
+   "Limits of instruction-level parallelism").
+
+   Following Wall's methodology at our scale: take the *dynamic* trace of
+   a program (from the CIR interpreter), then measure how fast an ideal
+   machine could have executed it under varying assumptions:
+
+     - window size: only the next W not-yet-issued instructions are
+       candidates each cycle (W = infinity is the dataflow limit);
+     - register renaming: with renaming, only true (RAW) dependences
+       constrain issue; without, WAR/WAW hazards on architectural
+       registers serialize too;
+     - control: 'perfect' speculation ignores block boundaries (the trace
+       is the executed path); 'none' refuses to issue an instruction until
+       the branch ending the previous basic block has resolved.
+
+   IPC = trace length / cycles. *)
+
+type config = {
+  window : int; (* max lookahead, in instructions *)
+  renaming : bool;
+  speculation : [ `Perfect | `None ];
+}
+
+type measurement = {
+  config : config;
+  instructions : int;
+  cycles : int;
+  ipc : float;
+}
+
+(* Issue-time simulation over the dynamic trace.  For each instruction we
+   compute the earliest cycle it can issue; the window constraint says
+   instruction k cannot issue before instruction (k - W) has issued (the
+   window has slid past it). *)
+let measure (trace : (int * Cir.instr) list) (config : config) : measurement =
+  let instrs = Array.of_list trace in
+  let n = Array.length instrs in
+  let issue = Array.make (max n 1) 0 in
+  let reg_ready = Hashtbl.create 256 in (* reg -> cycle its value is ready *)
+  let reg_last_issue = Hashtbl.create 256 in (* for WAR/WAW without renaming *)
+  let mem_ready = Hashtbl.create 16 in (* region -> cycle after last store *)
+  let mem_reads = Hashtbl.create 16 in (* region -> latest read issue *)
+  let branch_resolved = ref 0 in (* cycle the last block's branch resolved *)
+  let prev_block = ref (-1) in
+  let max_cycle = ref 0 in
+  for k = 0 to n - 1 do
+    let block, instr = instrs.(k) in
+    let ready r =
+      Option.value (Hashtbl.find_opt reg_ready r) ~default:0
+    in
+    let t = ref 0 in
+    (* RAW *)
+    List.iter (fun r -> t := max !t (ready r)) (Cir.uses_of instr);
+    (* WAR/WAW on architectural registers, unless renamed away *)
+    if not config.renaming then begin
+      match Cir.def_of instr with
+      | Some d ->
+        t := max !t (Option.value (Hashtbl.find_opt reg_last_issue d) ~default:0)
+      | None -> ()
+    end;
+    (* memory ordering *)
+    (match Cir.memory_access instr with
+    | Some (region, `Read) ->
+      t := max !t (Option.value (Hashtbl.find_opt mem_ready region) ~default:0)
+    | Some (region, `Write) ->
+      t := max !t (Option.value (Hashtbl.find_opt mem_ready region) ~default:0);
+      t := max !t (Option.value (Hashtbl.find_opt mem_reads region) ~default:0)
+    | None -> ());
+    (* control: without speculation, wait for the previous block's branch *)
+    if config.speculation = `None && block <> !prev_block then begin
+      branch_resolved := !max_cycle;
+      prev_block := block
+    end;
+    if config.speculation = `None then t := max !t !branch_resolved;
+    (* finite window: at most W instructions can be in flight, so we
+       cannot issue until the instruction W places earlier has issued and
+       vacated its slot (hence the +1; W=1 degenerates to one instruction
+       per cycle). *)
+    if config.window < max_int && k >= config.window then
+      t := max !t (issue.(k - config.window) + 1);
+    issue.(k) <- !t;
+    let finish = !t + 1 in (* unit latency *)
+    (match Cir.def_of instr with
+    | Some d ->
+      Hashtbl.replace reg_ready d finish;
+      Hashtbl.replace reg_last_issue d !t
+    | None -> ());
+    (match Cir.memory_access instr with
+    | Some (region, `Write) -> Hashtbl.replace mem_ready region finish
+    | Some (region, `Read) ->
+      Hashtbl.replace mem_reads region
+        (max !t (Option.value (Hashtbl.find_opt mem_reads region) ~default:0))
+    | None -> ());
+    if finish > !max_cycle then max_cycle := finish
+  done;
+  let cycles = max 1 !max_cycle in
+  { config;
+    instructions = n;
+    cycles;
+    ipc = float_of_int n /. float_of_int cycles }
+
+(** The standard sweep: window sizes with and without renaming, perfect
+    speculation (Wall's upper-bound setup), plus a no-speculation row. *)
+let sweep ?(windows = [ 1; 2; 4; 8; 16; 32; 64; 128; 256 ]) trace =
+  let perfect =
+    List.concat_map
+      (fun w ->
+        [ measure trace { window = w; renaming = true; speculation = `Perfect };
+          measure trace { window = w; renaming = false; speculation = `Perfect } ])
+      windows
+  in
+  let no_spec =
+    measure trace { window = max_int; renaming = true; speculation = `None }
+  in
+  let dataflow =
+    measure trace { window = max_int; renaming = true; speculation = `Perfect }
+  in
+  (perfect, no_spec, dataflow)
+
+(** Dynamic trace of a lowered function on given arguments. *)
+let trace_of (func : Cir.func) ~args =
+  let outcome =
+    Cir_interp.run ~record_trace:true func
+      ~args:(List.map (Bitvec.of_int ~width:64) args)
+  in
+  outcome.Cir_interp.trace

@@ -1,0 +1,34 @@
+(** Wall-style instruction-level parallelism limit study — experiment E1.
+
+    Measures how fast an ideal machine could have executed a program's
+    *dynamic* trace under varying window size, register renaming and
+    speculation assumptions; the paper (citing Wall) expects IPC to
+    saturate in the single digits. *)
+
+type config = {
+  window : int;  (** instructions in flight at once; [max_int] = infinite *)
+  renaming : bool;  (** with renaming only RAW dependences constrain *)
+  speculation : [ `Perfect | `None ];
+      (** [`Perfect] follows the executed path; [`None] stalls each basic
+          block until the previous block's branch resolved *)
+}
+
+type measurement = {
+  config : config;
+  instructions : int;
+  cycles : int;
+  ipc : float;
+}
+
+val measure : (int * Cir.instr) list -> config -> measurement
+(** Issue-time simulation of a dynamic trace (block id, instruction). *)
+
+val sweep :
+  ?windows:int list -> (int * Cir.instr) list ->
+  measurement list * measurement * measurement
+(** The standard study: per-window measurements with and without renaming
+    (perfect speculation), plus the no-speculation and pure-dataflow
+    bounds. *)
+
+val trace_of : Cir.func -> args:int list -> (int * Cir.instr) list
+(** The dynamic trace of a lowered function on given arguments. *)

@@ -1,0 +1,57 @@
+(** Modulo scheduling (software/hardware pipelining) — experiment E2.
+
+    Extracts an innermost straight-line loop, computes the recurrence- and
+    resource-constrained minimum initiation intervals, then runs iterative
+    modulo scheduling.  Control flow inside the loop body makes the loop
+    "irregular" and unpipelineable (without if-conversion), which is
+    exactly the paper's claim about pipelining's limits. *)
+
+type latency_model = { of_instr : Cir.instr -> int }
+
+val default_latency : latency_model
+(** Whole-cycle latencies: add/logic 1, multiply 3, divide 12, load 2,
+    store 1, moves/casts 0 (wires). *)
+
+type dep_edge = {
+  from_i : int;
+  to_i : int;
+  latency : int;
+  distance : int;  (** 0 = same iteration, 1 = loop-carried *)
+}
+
+type loop_body = { instrs : Cir.instr array; edges : dep_edge list }
+
+exception Irregular of string
+(** The loop has internal control flow, returns, or does not exist. *)
+
+val extract_loop : Cir.func -> latency_model -> loop_body
+(** One iteration of the innermost loop as a straight-line sequence with
+    intra- and inter-iteration dependence edges.  Anti/output dependences
+    are dropped (modulo variable expansion renames them away).
+    @raise Irregular when the body branches internally. *)
+
+val feasible : loop_body -> ii:int -> bool
+(** Does a schedule satisfying all dependence cycles exist at this
+    initiation interval? *)
+
+val rec_mii : loop_body -> int
+(** Recurrence-constrained minimum II. *)
+
+val res_mii : Schedule.resources -> loop_body -> int
+(** Resource-constrained minimum II. *)
+
+type result = {
+  ii : int;  (** achieved initiation interval *)
+  rec_mii : int;
+  res_mii : int;
+  sequential_cycles : int;  (** one iteration without pipelining *)
+  schedule_length : int;  (** depth of one iteration's schedule *)
+  speedup : float;  (** asymptotic: sequential_cycles / ii *)
+}
+
+val modulo_schedule :
+  ?resources:Schedule.resources -> ?latency:latency_model -> Cir.func ->
+  result
+(** Iterative modulo scheduling of the innermost loop, raising II from
+    max(RecMII, ResMII) until a legal schedule exists.
+    @raise Irregular as {!extract_loop}. *)

@@ -1,0 +1,1 @@
+test/test_backends.ml: Alcotest Area Bitvec Chls Cir Design Fsmd List Lower Netlist Ocapi Option Printf Rtlgen Schedule Specc String Systemc Workloads

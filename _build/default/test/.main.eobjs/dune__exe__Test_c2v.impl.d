@@ -1,0 +1,1 @@
+test/test_c2v.ml: Alcotest Array C2v_machine C2verilog Design List Option Printf String Typecheck

@@ -1,0 +1,1 @@
+test/test_flow.ml: Alcotest Asim Bitvec Chls Design Dfg List Lower Option Printf Ssa String Typecheck Workloads

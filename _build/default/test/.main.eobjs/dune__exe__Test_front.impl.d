@@ -1,0 +1,1 @@
+test/test_front.ml: Alcotest Ast Ctypes Dialect Interp Lexer List Loopform Option Parser Pretty Typecheck

@@ -1,0 +1,1 @@
+test/test_front_edge.ml: Alcotest Ast Interp Lexer Parser Pretty Typecheck

@@ -1,0 +1,1 @@
+test/test_ifconv.ml: Alcotest Array Bitvec Cir Cir_interp Design Ifconv List Lower Option Pipeline Printf Simplify Typecheck Workloads

@@ -1,0 +1,1 @@
+test/test_interp.ml: Alcotest Array Bitvec Int32 Interp Option QCheck QCheck_alcotest Typecheck

@@ -1,0 +1,1 @@
+test/test_interp_edge.ml: Alcotest Bitvec Interp List Printf String Typecheck

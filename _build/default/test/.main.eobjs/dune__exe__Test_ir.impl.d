@@ -1,0 +1,1 @@
+test/test_ir.ml: Alcotest Array Ast Bitvec Bitwidth Cfg Cir Cir_interp Dep Interp List Loopopt Lower Option Pointer Printf QCheck QCheck_alcotest Ssa String Typecheck Workloads

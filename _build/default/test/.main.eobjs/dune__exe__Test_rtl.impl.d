@@ -1,0 +1,1 @@
+test/test_rtl.ml: Alcotest Area Array Bitvec Cir Float Fsmd List Lower Neteval Netlist Option Rtlgen Rtlsim Schedule Simplify String Typecheck Verilog

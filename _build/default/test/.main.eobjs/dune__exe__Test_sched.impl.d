@@ -1,0 +1,1 @@
+test/test_sched.ml: Alcotest Array Bitvec Cir Cir_interp Constrain Dep Design Hardwarec Hashtbl Ilp_limits Interp Lazy List Lower Option Pipeline Printf Schedule Simplify Typecheck Workloads

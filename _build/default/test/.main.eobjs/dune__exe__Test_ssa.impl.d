@@ -1,0 +1,1 @@
+test/test_ssa.ml: Alcotest Array Cfg Cir Hashtbl List Lower Printf Simplify Ssa Typecheck

@@ -1,0 +1,176 @@
+(* Unit and property tests for the Bitvec substrate. *)
+
+let bv = Alcotest.testable Bitvec.pp Bitvec.equal
+
+let check_bv = Alcotest.check bv
+
+let test_make_masks () =
+  check_bv "mask to 8 bits" (Bitvec.of_int ~width:8 0x34)
+    (Bitvec.of_int ~width:8 0x1234);
+  check_bv "width 1" (Bitvec.of_int ~width:1 1) (Bitvec.of_int ~width:1 3);
+  Alcotest.check_raises "width 0 rejected"
+    (Invalid_argument "Bitvec.make: width 0 out of [1;64]") (fun () ->
+      ignore (Bitvec.make ~width:0 0L))
+
+let test_signed_views () =
+  let v = Bitvec.of_int ~width:8 0xFF in
+  Alcotest.(check int) "signed -1" (-1) (Bitvec.to_int v);
+  Alcotest.(check int) "unsigned 255" 255 (Bitvec.to_int_unsigned v);
+  let w = Bitvec.of_int ~width:64 (-1) in
+  Alcotest.(check int) "64-bit signed" (-1) (Bitvec.to_int w)
+
+let test_arith () =
+  let a = Bitvec.of_int ~width:8 200 and b = Bitvec.of_int ~width:8 100 in
+  Alcotest.(check int) "wrapping add" 44
+    (Bitvec.to_int_unsigned (Bitvec.add a b));
+  Alcotest.(check int) "sub" 100 (Bitvec.to_int_unsigned (Bitvec.sub a b));
+  Alcotest.(check int) "mul wraps" ((200 * 100) land 0xFF)
+    (Bitvec.to_int_unsigned (Bitvec.mul a b))
+
+let test_division_conventions () =
+  let w = 16 in
+  let z = Bitvec.zero w and x = Bitvec.of_int ~width:w 1234 in
+  check_bv "x/0 = all ones" (Bitvec.ones w) (Bitvec.udiv x z);
+  check_bv "x%0 = x" x (Bitvec.urem x z);
+  check_bv "sdiv by 0" (Bitvec.ones w) (Bitvec.sdiv x z);
+  let minint = Bitvec.of_int ~width:8 (-128) in
+  let minus1 = Bitvec.of_int ~width:8 (-1) in
+  check_bv "INT_MIN / -1 wraps" minint (Bitvec.sdiv minint minus1);
+  check_bv "INT_MIN %% -1 = 0" (Bitvec.zero 8) (Bitvec.srem minint minus1)
+
+let test_shifts () =
+  let x = Bitvec.of_int ~width:8 0x81 in
+  Alcotest.(check int) "shl" 0x04
+    (Bitvec.to_int_unsigned (Bitvec.shl x (Bitvec.of_int ~width:8 2)));
+  Alcotest.(check int) "lshr" 0x40
+    (Bitvec.to_int_unsigned (Bitvec.lshr x (Bitvec.of_int ~width:8 1)));
+  Alcotest.(check int) "ashr keeps sign" 0xC0
+    (Bitvec.to_int_unsigned (Bitvec.ashr x (Bitvec.of_int ~width:8 1)));
+  Alcotest.(check int) "shift >= width gives 0" 0
+    (Bitvec.to_int_unsigned (Bitvec.shl x (Bitvec.of_int ~width:8 8)));
+  Alcotest.(check int) "ashr >= width gives sign" 0xFF
+    (Bitvec.to_int_unsigned (Bitvec.ashr x (Bitvec.of_int ~width:8 200)))
+
+let test_comparisons () =
+  let a = Bitvec.of_int ~width:8 0xFF and b = Bitvec.of_int ~width:8 1 in
+  Alcotest.(check bool) "unsigned 255 > 1" false (Bitvec.ult a b);
+  Alcotest.(check bool) "signed -1 < 1" true (Bitvec.slt a b);
+  Alcotest.(check bool) "ule reflexive" true (Bitvec.ule a a);
+  Alcotest.(check bool) "sle reflexive" true (Bitvec.sle a a)
+
+let test_extract_concat () =
+  let x = Bitvec.of_int ~width:16 0xABCD in
+  check_bv "hi byte" (Bitvec.of_int ~width:8 0xAB)
+    (Bitvec.extract ~hi:15 ~lo:8 x);
+  check_bv "lo byte" (Bitvec.of_int ~width:8 0xCD)
+    (Bitvec.extract ~hi:7 ~lo:0 x);
+  check_bv "concat roundtrip" x
+    (Bitvec.concat (Bitvec.extract ~hi:15 ~lo:8 x)
+       (Bitvec.extract ~hi:7 ~lo:0 x));
+  Alcotest.(check bool) "bit 15" true (Bitvec.bit 15 x);
+  Alcotest.(check bool) "bit 14" false (Bitvec.bit 14 x)
+
+let test_resize () =
+  let x = Bitvec.of_int ~width:8 0x80 in
+  check_bv "sext" (Bitvec.of_int ~width:16 0xFF80)
+    (Bitvec.sign_extend ~width:16 x);
+  check_bv "zext" (Bitvec.of_int ~width:16 0x0080)
+    (Bitvec.zero_extend ~width:16 x);
+  check_bv "resize truncates" (Bitvec.of_int ~width:4 0)
+    (Bitvec.resize ~signed:true ~width:4 x)
+
+let test_popcount_sigbits () =
+  Alcotest.(check int) "popcount" 8
+    (Bitvec.popcount (Bitvec.of_int ~width:16 0xFF00));
+  Alcotest.(check int) "significant_bits of 5" 3
+    (Bitvec.significant_bits (Bitvec.of_int ~width:32 5));
+  Alcotest.(check int) "significant_bits of 0" 1
+    (Bitvec.significant_bits (Bitvec.zero 32))
+
+(* --- qcheck properties --- *)
+
+let arb_width = QCheck.Gen.int_range 1 64
+
+let arb_bv =
+  QCheck.make
+    ~print:(fun bv -> Bitvec.to_string bv)
+    QCheck.Gen.(
+      arb_width >>= fun w ->
+      map (fun bits -> Bitvec.of_int64 ~width:w bits) int64)
+
+let arb_bv_pair =
+  QCheck.make
+    ~print:(fun (a, b) -> Bitvec.to_string a ^ ", " ^ Bitvec.to_string b)
+    QCheck.Gen.(
+      arb_width >>= fun w ->
+      map2
+        (fun a b -> (Bitvec.of_int64 ~width:w a, Bitvec.of_int64 ~width:w b))
+        int64 int64)
+
+let prop_add_commutes =
+  QCheck.Test.make ~name:"add commutes" ~count:500 arb_bv_pair (fun (a, b) ->
+      Bitvec.equal (Bitvec.add a b) (Bitvec.add b a))
+
+let prop_sub_inverse =
+  QCheck.Test.make ~name:"(a+b)-b = a" ~count:500 arb_bv_pair (fun (a, b) ->
+      Bitvec.equal (Bitvec.sub (Bitvec.add a b) b) a)
+
+let prop_neg_involution =
+  QCheck.Test.make ~name:"neg(neg a) = a" ~count:500 arb_bv (fun a ->
+      Bitvec.equal (Bitvec.neg (Bitvec.neg a)) a)
+
+let prop_not_involution =
+  QCheck.Test.make ~name:"not(not a) = a" ~count:500 arb_bv (fun a ->
+      Bitvec.equal (Bitvec.lognot (Bitvec.lognot a)) a)
+
+let prop_udiv_urem =
+  QCheck.Test.make ~name:"a = b*(a u/ b) + (a u% b)" ~count:500 arb_bv_pair
+    (fun (a, b) ->
+      QCheck.assume (not (Bitvec.is_zero b));
+      Bitvec.equal a (Bitvec.add (Bitvec.mul b (Bitvec.udiv a b)) (Bitvec.urem a b)))
+
+let prop_sdiv_srem =
+  QCheck.Test.make ~name:"a = b*(a s/ b) + (a s% b)" ~count:500 arb_bv_pair
+    (fun (a, b) ->
+      QCheck.assume (not (Bitvec.is_zero b));
+      Bitvec.equal a (Bitvec.add (Bitvec.mul b (Bitvec.sdiv a b)) (Bitvec.srem a b)))
+
+let prop_signed_unsigned_views =
+  QCheck.Test.make ~name:"signed and unsigned views agree mod 2^w" ~count:500
+    arb_bv (fun a ->
+      let w = Bitvec.width a in
+      Bitvec.equal a (Bitvec.of_int64 ~width:w (Bitvec.to_int64_signed a)))
+
+let prop_extract_concat =
+  QCheck.Test.make ~name:"concat of split halves restores value" ~count:500
+    (QCheck.make
+       QCheck.Gen.(
+         int_range 2 64 >>= fun w ->
+         map (fun bits -> Bitvec.of_int64 ~width:w bits) int64))
+    (fun a ->
+      let w = Bitvec.width a in
+      let mid = w / 2 in
+      let hi = Bitvec.extract ~hi:(w - 1) ~lo:mid a in
+      let lo = Bitvec.extract ~hi:(mid - 1) ~lo:0 a in
+      Bitvec.equal a (Bitvec.concat hi lo))
+
+let qcheck_cases =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_add_commutes; prop_sub_inverse; prop_neg_involution;
+      prop_not_involution; prop_udiv_urem; prop_sdiv_srem;
+      prop_signed_unsigned_views; prop_extract_concat ]
+
+let suite =
+  ( "bitvec",
+    [ Alcotest.test_case "make masks" `Quick test_make_masks;
+      Alcotest.test_case "signed views" `Quick test_signed_views;
+      Alcotest.test_case "arithmetic" `Quick test_arith;
+      Alcotest.test_case "division conventions" `Quick
+        test_division_conventions;
+      Alcotest.test_case "shifts" `Quick test_shifts;
+      Alcotest.test_case "comparisons" `Quick test_comparisons;
+      Alcotest.test_case "extract/concat" `Quick test_extract_concat;
+      Alcotest.test_case "resize" `Quick test_resize;
+      Alcotest.test_case "popcount/significant bits" `Quick
+        test_popcount_sigbits ]
+    @ qcheck_cases )

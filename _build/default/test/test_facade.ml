@@ -1,0 +1,105 @@
+(* Chls facade tests: name round-trips, the full acceptance matrix
+   (every workload x every backend), verification plumbing, and Table 1
+   rendering. *)
+
+let test_backend_name_roundtrip () =
+  List.iter
+    (fun backend ->
+      Alcotest.(check bool)
+        (Chls.backend_name backend ^ " round-trips")
+        true
+        (Chls.backend_of_name (Chls.backend_name backend) = Some backend))
+    Chls.all_compiling_backends;
+  Alcotest.(check bool) "aliases work" true
+    (Chls.backend_of_name "tmcc" = Some Chls.Transmogrifier_backend
+    && Chls.backend_of_name "BDL" = Some Chls.Cyber_backend
+    && Chls.backend_of_name "c2v" = Some Chls.C2verilog_backend);
+  Alcotest.(check bool) "unknown rejected" true
+    (Chls.backend_of_name "vhdl" = None)
+
+(* The acceptance matrix, written out so a dialect-rule regression is
+   immediately visible.  true = the backend's dialect accepts it. *)
+let expected_acceptance =
+  (* workload, cones, handelc, bachc, cash, c2verilog *)
+  [ ("gcd", false, true, true, true, true);
+    ("fib", false, true, true, true, true);
+    ("fir", true, true, true, true, true);
+    ("dotprod", true, true, true, true, true);
+    ("matmul", true, true, true, true, true);
+    ("bsort", false, true, true, true, true);
+    ("crc", true, true, true, true, true);
+    ("popcount", false, true, true, true, true);
+    ("checksum", true, true, true, true, true);
+    ("histogram", true, true, true, true, true);
+    ("isqrt_newton", false, true, true, true, true);
+    ("transpose", false, true, true, true, true);
+    ("producer_consumer", false, true, true, false, false);
+    ("pointer_sum", false, false, false, false, true);
+    ("recursion", false, false, false, false, true);
+    ("dynamic_list", false, false, false, false, true) ]
+
+let test_acceptance_matrix () =
+  List.iter
+    (fun (name, cones, handelc, bachc, cash, c2v) ->
+      let w = Option.get (Workloads.find name) in
+      let program = Workloads.parse w in
+      let check backend expected =
+        Alcotest.(check bool)
+          (Printf.sprintf "%s/%s" (Chls.backend_name backend) name)
+          expected
+          (Chls.accepts backend program)
+      in
+      check Chls.Cones_backend cones;
+      check Chls.Handelc_backend handelc;
+      check Chls.Bachc_backend bachc;
+      check Chls.Cash_backend cash;
+      check Chls.C2verilog_backend c2v)
+    expected_acceptance
+
+let test_verify_against_reference () =
+  let w = Workloads.gcd in
+  let design =
+    Chls.compile Chls.Bachc_backend w.Workloads.source ~entry:"gcd"
+  in
+  let checks =
+    Chls.verify_against_reference design w.Workloads.source ~entry:"gcd"
+      ~arg_sets:w.Workloads.arg_sets
+  in
+  Alcotest.(check int) "one check per vector"
+    (List.length w.Workloads.arg_sets)
+    (List.length checks);
+  List.iter
+    (fun c ->
+      Alcotest.(check bool) "agrees" true c.Chls.agrees;
+      Alcotest.(check bool) "observed present" true (c.Chls.observed <> None))
+    checks
+
+let test_table1_rendering () =
+  let t = Chls.render_table1 () in
+  List.iter
+    (fun needle ->
+      let n = String.length needle in
+      let rec go i =
+        i + n <= String.length t && (String.sub t i n = needle || go (i + 1))
+      in
+      Alcotest.(check bool) ("table mentions " ^ needle) true (go 0))
+    [ "Cones"; "HardwareC"; "Transmogrifier C"; "SystemC"; "Ocapi";
+      "C2Verilog"; "Cyber (BDL)"; "Handel-C"; "SpecC"; "Bach C"; "CASH";
+      "Comprehensive; company defunct"; "Untimed semantics (Sharp)" ]
+
+let test_compile_rejects_wrong_dialect () =
+  let ptr = (Workloads.pointer_sum).Workloads.source in
+  match Chls.compile Chls.Bachc_backend ptr ~entry:"run" with
+  | exception Failure _ -> ()
+  | _ -> Alcotest.fail "bachc must reject pointers at compile"
+
+let suite =
+  ( "facade",
+    [ Alcotest.test_case "backend name round-trip" `Quick
+        test_backend_name_roundtrip;
+      Alcotest.test_case "acceptance matrix" `Quick test_acceptance_matrix;
+      Alcotest.test_case "verify against reference" `Quick
+        test_verify_against_reference;
+      Alcotest.test_case "table1 rendering" `Quick test_table1_rendering;
+      Alcotest.test_case "wrong dialect rejected" `Quick
+        test_compile_rejects_wrong_dialect ] )

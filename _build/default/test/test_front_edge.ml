@@ -1,0 +1,170 @@
+(* Frontend edge cases: lexer corner forms, parser error reporting and
+   grammar corners, type-conversion subtleties the hardware backends
+   depend on. *)
+
+let parse = Parser.parse_program
+let check = Typecheck.parse_and_check
+let run_int = Interp.run_int
+
+let expect_parse_error src =
+  match parse src with
+  | exception (Parser.Error _ | Lexer.Error _) -> ()
+  | _ -> Alcotest.fail ("expected a parse error for: " ^ src)
+
+let test_parse_errors () =
+  expect_parse_error "int f( { return 0; }";
+  expect_parse_error "int f(void) { return 1 + ; }";
+  expect_parse_error "int f(void) { if (1) return 2 }";
+  expect_parse_error "int f(void) { int x[] = {1,2}; return 0; }";
+  expect_parse_error "int f(void) { send(c); return 0; }";
+  expect_parse_error "int 9bad(void) { return 0; }";
+  expect_parse_error "int f(void) { return 0; } trailing";
+  expect_parse_error "int f(void) { constrain(2) { } return 0; }"
+
+let test_parse_error_positions () =
+  match parse "int f(void) {\n  return 1 +\n;\n}" with
+  | exception Parser.Error (_, loc) ->
+    Alcotest.(check int) "error on line 3" 3 loc.Ast.line
+  | _ -> Alcotest.fail "expected parse error"
+
+let test_char_escapes () =
+  Alcotest.(check int) "newline" 10
+    (run_int "int f(void) { return '\\n'; }" ~entry:"f" ~args:[]);
+  Alcotest.(check int) "tab" 9
+    (run_int "int f(void) { return '\\t'; }" ~entry:"f" ~args:[]);
+  Alcotest.(check int) "backslash" 92
+    (run_int "int f(void) { return '\\\\'; }" ~entry:"f" ~args:[]);
+  Alcotest.(check int) "nul" 0
+    (run_int "int f(void) { return '\\0'; }" ~entry:"f" ~args:[])
+
+let test_hex_and_suffixes () =
+  Alcotest.(check int) "hex" 48879
+    (run_int "int f(void) { return 0xBEEF; }" ~entry:"f" ~args:[]);
+  Alcotest.(check int) "unsigned suffix comparison" 1
+    (run_int "int f(void) { unsigned int x = 4294967295u; return x > 0u; }"
+       ~entry:"f" ~args:[]);
+  Alcotest.(check int) "long arithmetic" 1
+    (run_int
+       "int f(void) { long big = 5000000000l; return big > 4000000000l; }"
+       ~entry:"f" ~args:[])
+
+let test_dangling_else () =
+  (* else binds to the nearest if *)
+  Alcotest.(check int) "dangling else" 0
+    (run_int
+       "int f(int a) { if (a > 0) if (a > 10) return 1; else return 2; return 0; }"
+       ~entry:"f" ~args:[ -5 ]);
+  Alcotest.(check int) "inner else" 2
+    (run_int
+       "int f(int a) { if (a > 0) if (a > 10) return 1; else return 2; return 0; }"
+       ~entry:"f" ~args:[ 5 ])
+
+let test_comma_free_for_forms () =
+  Alcotest.(check int) "empty for header" 10
+    (run_int
+       "int f(void) { int i = 0; for (;;) { i = i + 1; if (i == 10) { break; } } return i; }"
+       ~entry:"f" ~args:[]);
+  Alcotest.(check int) "expression init" 6
+    (run_int
+       "int f(void) { int i; int s = 0; for (i = 1; i <= 3; i = i + 1) { s = s + i; } return s; }"
+       ~entry:"f" ~args:[])
+
+let test_increment_forms () =
+  (* both forms are assignment sugar (documented pre-increment values) *)
+  Alcotest.(check int) "postfix statement" 3
+    (run_int "int f(void) { int i = 2; i++; return i; }" ~entry:"f" ~args:[]);
+  Alcotest.(check int) "prefix statement" 1
+    (run_int "int f(void) { int i = 2; --i; return i; }" ~entry:"f" ~args:[]);
+  Alcotest.(check int) "compound shift" 8
+    (run_int "int f(void) { int i = 2; i <<= 2; return i; }" ~entry:"f"
+       ~args:[])
+
+let test_signedness_conversions () =
+  (* unsigned op signed: usual arithmetic conversions make it unsigned *)
+  Alcotest.(check int) "mixed comparison is unsigned" 0
+    (run_int "int f(void) { unsigned int u = 1u; int s = 0 - 1; return s < u; }"
+       ~entry:"f" ~args:[]);
+  (* char -> unsigned char reinterpretation *)
+  Alcotest.(check int) "char reinterpret" 255
+    (run_int
+       "int f(void) { char c = 0 - 1; unsigned char u = (unsigned char)c; return u; }"
+       ~entry:"f" ~args:[]);
+  (* short truncation *)
+  Alcotest.(check int) "short truncation" (-32768)
+    (run_int "int f(void) { short s = (short)32768; return s; }" ~entry:"f"
+       ~args:[]);
+  (* sign extension through widening *)
+  Alcotest.(check int) "sign extension to long" 1
+    (run_int "int f(void) { int x = 0 - 5; long l = x; return l == 0l - 5l; }"
+       ~entry:"f" ~args:[])
+
+let test_shift_result_types () =
+  (* the result width of a shift is the promoted left operand's *)
+  Alcotest.(check int) "char shift promotes to int" 1024
+    (run_int "int f(void) { char c = 4; return c << 8; }" ~entry:"f" ~args:[])
+
+let test_bool_type () =
+  Alcotest.(check int) "bool stores 0/1" 1
+    (run_int "int f(void) { bool b = 42; return b; }" ~entry:"f" ~args:[]
+     |> fun v -> v);
+  ()
+
+let test_ternary_nesting () =
+  Alcotest.(check int) "nested ternary" 20
+    (run_int
+       "int f(int x) { return x < 0 ? 10 : x == 0 ? 20 : 30; }"
+       ~entry:"f" ~args:[ 0 ])
+
+let test_global_shadowing () =
+  Alcotest.(check int) "local shadows global" 5
+    (run_int "int x = 100;\nint f(void) { int x = 5; return x; }" ~entry:"f"
+       ~args:[]);
+  Alcotest.(check int) "global visible after scope" 100
+    (run_int
+       "int x = 100;\nint f(void) { { int x = 5; x = x + 1; } return x; }"
+       ~entry:"f" ~args:[])
+
+let test_pretty_all_constructs () =
+  (* everything parses back after printing, including hw extensions *)
+  let src =
+    {|
+    int tab[3] = {9, 8, 7};
+    chan int ch;
+    int helper(int v) { return v * 2; }
+    int f(int a, int b) {
+      int acc = 0;
+      par {
+        { send(ch, helper(a)); }
+        { acc = recv(ch); }
+      }
+      do { acc = acc - 1; } while (acc > 10);
+      constrain(1, 4) { acc = acc ^ tab[1]; }
+      delay;
+      return a < b && acc != 0 ? ~acc : -acc;
+    }
+    |}
+  in
+  let p1 = parse src in
+  let printed = Pretty.program_to_string p1 in
+  let p2 = parse printed in
+  Alcotest.(check string) "roundtrip fixpoint" printed
+    (Pretty.program_to_string p2)
+
+let suite =
+  ( "front-edge",
+    [ Alcotest.test_case "parse errors" `Quick test_parse_errors;
+      Alcotest.test_case "parse error positions" `Quick
+        test_parse_error_positions;
+      Alcotest.test_case "char escapes" `Quick test_char_escapes;
+      Alcotest.test_case "hex and suffixes" `Quick test_hex_and_suffixes;
+      Alcotest.test_case "dangling else" `Quick test_dangling_else;
+      Alcotest.test_case "for loop forms" `Quick test_comma_free_for_forms;
+      Alcotest.test_case "increment forms" `Quick test_increment_forms;
+      Alcotest.test_case "signedness conversions" `Quick
+        test_signedness_conversions;
+      Alcotest.test_case "shift result types" `Quick test_shift_result_types;
+      Alcotest.test_case "bool type" `Quick test_bool_type;
+      Alcotest.test_case "ternary nesting" `Quick test_ternary_nesting;
+      Alcotest.test_case "global shadowing" `Quick test_global_shadowing;
+      Alcotest.test_case "pretty all constructs" `Quick
+        test_pretty_all_constructs ] )

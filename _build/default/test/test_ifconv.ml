@@ -1,0 +1,145 @@
+(* If-conversion tests: shape recognition, semantic preservation on the
+   workload suite, store predication, and the E2 payoff — a control-bound
+   loop becomes pipelineable. *)
+
+let lower src ~entry =
+  let program = Typecheck.parse_and_check src in
+  fst (Simplify.simplify (Lower.lower_program program ~entry).Lower.func)
+
+let run_func func args =
+  let outcome = Cir_interp.run func ~args:(Design.int_args args) in
+  Option.map Bitvec.to_int outcome.Cir_interp.return_value
+
+let test_triangle_conversion () =
+  let func =
+    lower "int f(int a, int b) { int r = a; if (a < b) { r = b; } return r; }"
+      ~entry:"f"
+  in
+  let converted, n = Ifconv.convert func in
+  Alcotest.(check int) "one branch converted" 1 n;
+  (* max via if becomes branch-free *)
+  let has_branch =
+    Array.exists
+      (fun blk ->
+        match blk.Cir.term with Cir.T_branch _ -> true | _ -> false)
+      converted.Cir.fn_blocks
+  in
+  Alcotest.(check bool) "no branches remain" false has_branch;
+  List.iter
+    (fun (a, b) ->
+      Alcotest.(check (option int)) "max preserved" (Some (max a b))
+        (run_func converted [ a; b ]))
+    [ (3, 7); (7, 3); (-5, -2) ]
+
+let test_diamond_conversion () =
+  let func =
+    lower
+      "int f(int a, int b) { int r; if (a < b) { r = b - a; } else { r = a - b; } return r; }"
+      ~entry:"f"
+  in
+  let converted, n = Ifconv.convert func in
+  Alcotest.(check bool) "at least one conversion" true (n >= 1);
+  List.iter
+    (fun (a, b) ->
+      Alcotest.(check (option int)) "abs-diff preserved" (Some (abs (a - b)))
+        (run_func converted [ a; b ]))
+    [ (3, 7); (7, 3); (10, 10) ]
+
+let test_store_predication () =
+  (* a conditional store must not fire on the not-taken path *)
+  let func =
+    lower
+      {|
+      int buf[4];
+      int f(int a) {
+        buf[1] = 100;
+        if (a > 0) { buf[1] = a; }
+        return buf[1];
+      }
+      |}
+      ~entry:"f"
+  in
+  let converted, n = Ifconv.convert func in
+  Alcotest.(check bool) "converted" true (n >= 1);
+  Alcotest.(check (option int)) "taken path stores" (Some 42)
+    (run_func converted [ 42 ]);
+  Alcotest.(check (option int)) "not-taken path preserves memory" (Some 100)
+    (run_func converted [ -5 ])
+
+let test_workload_equivalence () =
+  List.iter
+    (fun (w : Workloads.t) ->
+      let func = lower w.Workloads.source ~entry:w.Workloads.entry in
+      let converted, _ = Ifconv.convert func in
+      List.iter
+        (fun args ->
+          Alcotest.(check (option int))
+            (Printf.sprintf "ifconv preserves %s" w.Workloads.name)
+            (Some (Workloads.reference w args))
+            (run_func converted args))
+        w.Workloads.arg_sets)
+    Workloads.sequential
+
+let test_enables_pipelining () =
+  (* the E2 control-flow-bound loop: unpipelineable before, pipelineable
+     after if-conversion *)
+  let src =
+    {|
+    int data[16];
+    int f(int n) {
+      int acc = 0;
+      for (int i = 0; i < 16; i = i + 1) {
+        if (data[i] > n) { acc = acc + 1; } else { acc = acc - data[i]; }
+      }
+      return acc;
+    }
+    |}
+  in
+  let func = lower src ~entry:"f" in
+  (match Pipeline.modulo_schedule func with
+  | exception Pipeline.Irregular _ -> ()
+  | _ -> Alcotest.fail "expected the raw loop to be irregular");
+  let converted, n = Ifconv.convert func in
+  Alcotest.(check bool) "branch eliminated" true (n >= 1);
+  let r = Pipeline.modulo_schedule converted in
+  Alcotest.(check bool)
+    (Printf.sprintf "pipelined after conversion (II=%d, speedup %.2f)"
+       r.Pipeline.ii r.Pipeline.speedup)
+    true
+    (r.Pipeline.speedup > 1.0)
+
+let test_nested_if_fixpoint () =
+  let func =
+    lower
+      {|
+      int f(int a, int b, int c) {
+        int r = 0;
+        if (a > 0) { r = r + 1; }
+        if (b > 0) { r = r + 2; }
+        if (c > 0) { r = r + 4; }
+        return r;
+      }
+      |}
+      ~entry:"f"
+  in
+  let converted, n = Ifconv.convert func in
+  Alcotest.(check int) "all three triangles converted" 3 n;
+  List.iter
+    (fun (a, b, c) ->
+      let expected =
+        (if a > 0 then 1 else 0) + (if b > 0 then 2 else 0)
+        + if c > 0 then 4 else 0
+      in
+      Alcotest.(check (option int)) "bitmask preserved" (Some expected)
+        (run_func converted [ a; b; c ]))
+    [ (1, 1, 1); (0, 1, 0); (-1, -1, 5) ]
+
+let suite =
+  ( "ifconv",
+    [ Alcotest.test_case "triangle conversion" `Quick test_triangle_conversion;
+      Alcotest.test_case "diamond conversion" `Quick test_diamond_conversion;
+      Alcotest.test_case "store predication" `Quick test_store_predication;
+      Alcotest.test_case "workload equivalence" `Quick
+        test_workload_equivalence;
+      Alcotest.test_case "enables pipelining" `Quick test_enables_pipelining;
+      Alcotest.test_case "nested if fixpoint" `Quick test_nested_if_fixpoint ] )

@@ -1,0 +1,229 @@
+(* Reference interpreter tests: sequential C semantics, memory, recursion,
+   and the concurrent extensions (par, rendezvous channels, deadlock). *)
+
+let run_int = Interp.run_int
+
+let test_arith_and_control () =
+  Alcotest.(check int) "gcd" 6
+    (run_int
+       "int gcd(int a, int b) { while (b != 0) { int t = b; b = a % b; a = t; } return a; }"
+       ~entry:"gcd" ~args:[ 54; 24 ]);
+  Alcotest.(check int) "fib iterative" 55
+    (run_int
+       "int fib(int n) { int a = 0; int b = 1; for (int i = 0; i < n; i = i + 1) { int t = a + b; a = b; b = t; } return a; }"
+       ~entry:"fib" ~args:[ 10 ]);
+  Alcotest.(check int) "ternary + logic" 1
+    (run_int "int f(int x) { return x > 2 && x < 10 ? 1 : 0; }" ~entry:"f"
+       ~args:[ 5 ])
+
+let test_do_while_break_continue () =
+  Alcotest.(check int) "do-while" 10
+    (run_int
+       "int f(void) { int i = 0; do { i = i + 1; } while (i < 10); return i; }"
+       ~entry:"f" ~args:[]);
+  Alcotest.(check int) "break" 5
+    (run_int
+       "int f(void) { int i = 0; while (1) { if (i == 5) { break; } i = i + 1; } return i; }"
+       ~entry:"f" ~args:[]);
+  Alcotest.(check int) "continue skips evens" 25
+    (run_int
+       "int f(void) { int s = 0; for (int i = 0; i < 10; i = i + 1) { if (i % 2 == 0) { continue; } s = s + i; } return s; }"
+       ~entry:"f" ~args:[])
+
+let test_arrays_and_pointers () =
+  Alcotest.(check int) "local array sum" 30
+    (run_int
+       "int f(void) { int a[4]; for (int i = 0; i < 4; i = i + 1) { a[i] = i * 5; } return a[0] + a[1] + a[2] + a[3]; }"
+       ~entry:"f" ~args:[]);
+  Alcotest.(check int) "pointer swap" 1
+    (run_int
+       {|
+       void swap(int* p, int* q) { int t = *p; *p = *q; *q = t; }
+       int f(void) { int a = 3; int b = 7; swap(&a, &b); return a == 7 && b == 3; }
+       |}
+       ~entry:"f" ~args:[]);
+  Alcotest.(check int) "pointer arithmetic walk" 60
+    (run_int
+       {|
+       int f(void) {
+         int a[3];
+         a[0] = 10; a[1] = 20; a[2] = 30;
+         int* p = a;
+         int s = 0;
+         for (int i = 0; i < 3; i = i + 1) { s = s + *(p + i); }
+         return s;
+       }
+       |}
+       ~entry:"f" ~args:[]);
+  Alcotest.(check int) "array argument" 6
+    (run_int
+       {|
+       int sum3(int a[3]) { return a[0] + a[1] + a[2]; }
+       int f(void) { int v[3]; v[0] = 1; v[1] = 2; v[2] = 3; return sum3(v); }
+       |}
+       ~entry:"f" ~args:[])
+
+let test_globals () =
+  let program =
+    Typecheck.parse_and_check
+      {|
+      int coeff[4] = {1, 2, 3, 4};
+      int total = 0;
+      int f(void) {
+        for (int i = 0; i < 4; i = i + 1) { total = total + coeff[i]; }
+        return total;
+      }
+      |}
+  in
+  let outcome = Interp.run program ~entry:"f" ~args:[] in
+  Alcotest.(check int) "return" 10
+    (Bitvec.to_int (Option.get outcome.return_value));
+  Alcotest.(check int) "global readback" 10
+    (Bitvec.to_int (Interp.read_global outcome "total"));
+  let arr = Interp.read_global_array outcome "coeff" in
+  Alcotest.(check int) "array readback" 4 (Bitvec.to_int arr.(3))
+
+let test_recursion () =
+  Alcotest.(check int) "factorial" 120
+    (run_int
+       "int fact(int n) { if (n <= 1) { return 1; } return n * fact(n - 1); }"
+       ~entry:"fact" ~args:[ 5 ]);
+  Alcotest.(check int) "mutual recursion" 1
+    (run_int
+       {|
+       int is_odd(int n);
+       int is_even(int n) { if (n == 0) { return 1; } return is_odd(n - 1); }
+       int is_odd(int n) { if (n == 0) { return 0; } return is_even(n - 1); }
+       int f(void) { return is_even(10); }
+       |}
+       ~entry:"f" ~args:[])
+
+let test_char_overflow () =
+  Alcotest.(check int) "char wraps at 8 bits" (-128)
+    (run_int "int f(void) { char c = 127; c = c + 1; return c; }" ~entry:"f"
+       ~args:[]);
+  Alcotest.(check int) "unsigned char wraps to 0" 0
+    (run_int
+       "int f(void) { unsigned char c = 255; c = c + 1; return c; }"
+       ~entry:"f" ~args:[])
+
+let test_shift_and_mask_kernels () =
+  Alcotest.(check int) "popcount" 10
+    (run_int
+       {|
+       int popcount(unsigned int x) {
+         int n = 0;
+         while (x != 0u) { n = n + (int)(x & 1u); x = x >> 1; }
+         return n;
+       }
+       |}
+       ~entry:"popcount" ~args:[ 0xABCD ])
+
+let test_par_and_channels () =
+  Alcotest.(check int) "producer/consumer rendezvous" 30
+    (run_int
+       {|
+       chan int c;
+       int f(void) {
+         int result = 0;
+         par {
+           { send(c, 10); send(c, 20); }
+           { int a = recv(c); int b = recv(c); result = a + b; }
+         }
+         return result;
+       }
+       |}
+       ~entry:"f" ~args:[]);
+  Alcotest.(check int) "three-stage pipeline" 42
+    (run_int
+       {|
+       chan int c1;
+       chan int c2;
+       int f(void) {
+         int result = 0;
+         par {
+           { send(c1, 20); }
+           { int x = recv(c1); send(c2, x * 2 + 2); }
+           { result = recv(c2); }
+         }
+         return result;
+       }
+       |}
+       ~entry:"f" ~args:[])
+
+let test_par_shared_memory () =
+  Alcotest.(check int) "par branches see parent locals" 3
+    (run_int
+       {|
+       int f(void) {
+         int a = 0;
+         int b = 0;
+         par {
+           { a = 1; }
+           { b = 2; }
+         }
+         return a + b;
+       }
+       |}
+       ~entry:"f" ~args:[])
+
+let test_deadlock_detection () =
+  let src =
+    {|
+    chan int c;
+    int f(void) {
+      int x = recv(c);
+      return x;
+    }
+    |}
+  in
+  let program = Typecheck.parse_and_check src in
+  match Interp.run program ~entry:"f" ~args:[] with
+  | exception Interp.Deadlock -> ()
+  | _ -> Alcotest.fail "expected deadlock"
+
+let test_fuel_timeout () =
+  let src = "int f(void) { while (1) { } return 0; }" in
+  let program = Typecheck.parse_and_check src in
+  match Interp.run ~fuel:1000 program ~entry:"f" ~args:[] with
+  | exception Interp.Timeout -> ()
+  | _ -> Alcotest.fail "expected timeout"
+
+let test_division_semantics () =
+  Alcotest.(check int) "C truncating division" (-3)
+    (run_int "int f(void) { return (0 - 7) / 2; }" ~entry:"f" ~args:[]);
+  Alcotest.(check int) "C remainder sign" (-1)
+    (run_int "int f(void) { return (0 - 7) % 2; }" ~entry:"f" ~args:[])
+
+(* qcheck: interpreter agrees with OCaml arithmetic on a random expression
+   over bounded operands. *)
+let prop_interp_matches_ocaml =
+  QCheck.Test.make ~name:"interp matches OCaml int32 arithmetic" ~count:200
+    QCheck.(triple (int_range (-1000) 1000) (int_range (-1000) 1000)
+              (int_range 1 50))
+    (fun (a, b, c) ->
+      let src = "int f(int a, int b, int c) { return (a + b) * c - a / c + (b % c); }" in
+      let expected =
+        let ( +% ) x y = Int32.to_int (Int32.add (Int32.of_int x) (Int32.of_int y)) in
+        ignore ( +% );
+        (a + b) * c - (a / c) + (b mod c)
+      in
+      run_int src ~entry:"f" ~args:[ a; b; c ] = expected)
+
+let suite =
+  ( "interp",
+    [ Alcotest.test_case "arith and control" `Quick test_arith_and_control;
+      Alcotest.test_case "do-while/break/continue" `Quick
+        test_do_while_break_continue;
+      Alcotest.test_case "arrays and pointers" `Quick test_arrays_and_pointers;
+      Alcotest.test_case "globals" `Quick test_globals;
+      Alcotest.test_case "recursion" `Quick test_recursion;
+      Alcotest.test_case "char overflow" `Quick test_char_overflow;
+      Alcotest.test_case "shift/mask kernels" `Quick
+        test_shift_and_mask_kernels;
+      Alcotest.test_case "par and channels" `Quick test_par_and_channels;
+      Alcotest.test_case "par shared memory" `Quick test_par_shared_memory;
+      Alcotest.test_case "deadlock detection" `Quick test_deadlock_detection;
+      Alcotest.test_case "fuel timeout" `Quick test_fuel_timeout;
+      Alcotest.test_case "division semantics" `Quick test_division_semantics;
+      QCheck_alcotest.to_alcotest prop_interp_matches_ocaml ] )

@@ -1,0 +1,338 @@
+(* Scheduling layer tests: list scheduling legality, ASAP/ALAP/slack,
+   timing constraints, modulo scheduling (pipelining) and the ILP-limit
+   machinery. *)
+
+let lower src ~entry =
+  let program = Typecheck.parse_and_check src in
+  let lowered = Lower.lower_program program ~entry in
+  fst (Simplify.simplify lowered.Lower.func)
+
+let straightline_instrs func =
+  Array.to_list func.Cir.fn_blocks |> List.concat_map (fun b -> b.Cir.instrs)
+
+let fir_block =
+  lower
+    {|
+    int mem[4];
+    int f(int a, int b, int c, int d) {
+      int p0 = a * b;
+      int p1 = c * d;
+      int p2 = a * d;
+      int s0 = p0 + p1;
+      int s1 = s0 + p2;
+      mem[0] = s1;
+      int back = mem[1];
+      return s1 ^ back;
+    }
+    |}
+    ~entry:"f"
+
+(* A schedule is legal iff every dependence edge is honored given the
+   backend contract (same-step order-preserving execution). *)
+let check_legal ?(mem_forwarding = false) instrs (sched : Schedule.schedule) =
+  let g = Dep.of_instrs instrs in
+  let arr = Array.of_list instrs in
+  List.iter
+    (fun (e : Dep.edge) ->
+      let s = sched.Schedule.steps.(e.Dep.src)
+      and d = sched.Schedule.steps.(e.Dep.dst) in
+      match e.Dep.kind with
+      | Dep.Raw | Dep.War | Dep.Waw ->
+        Alcotest.(check bool) "register dep order" true (s <= d)
+      | Dep.Mem ->
+        let store_to_load =
+          (match Cir.memory_access arr.(e.Dep.src) with
+          | Some (_, `Write) -> true
+          | _ -> false)
+          && match Cir.memory_access arr.(e.Dep.dst) with
+             | Some (_, `Read) -> true
+             | _ -> false
+        in
+        if store_to_load && not mem_forwarding then
+          Alcotest.(check bool) "store->load crosses a step" true (s < d)
+        else Alcotest.(check bool) "mem dep order" true (s <= d))
+    g.Dep.edges
+
+let test_list_schedule_legal () =
+  let instrs = straightline_instrs fir_block in
+  List.iter
+    (fun resources ->
+      check_legal instrs (Schedule.list_schedule fir_block resources instrs))
+    [ Schedule.unconstrained; Schedule.default_allocation;
+      { Schedule.default_allocation with Schedule.multipliers = Some 1;
+        chain_budget = 5. } ]
+
+let test_resource_limits_respected () =
+  let instrs = straightline_instrs fir_block in
+  let resources =
+    { Schedule.default_allocation with Schedule.multipliers = Some 1 }
+  in
+  let sched = Schedule.list_schedule fir_block resources instrs in
+  (* at most one multiply per step *)
+  let arr = Array.of_list instrs in
+  let mults_in_step = Hashtbl.create 8 in
+  Array.iteri
+    (fun i step ->
+      if Schedule.class_of_instr arr.(i) = Schedule.Multiplier then
+        Hashtbl.replace mults_in_step step
+          (1 + Option.value (Hashtbl.find_opt mults_in_step step) ~default:0))
+    sched.Schedule.steps;
+  Hashtbl.iter
+    (fun _ count ->
+      Alcotest.(check bool) "one multiplier per step" true (count <= 1))
+    mults_in_step;
+  (* the 3 multiplies need at least 3 steps *)
+  Alcotest.(check bool) "constrained schedule is longer" true
+    (sched.Schedule.num_steps
+    >= (Schedule.list_schedule fir_block Schedule.unconstrained instrs)
+         .Schedule.num_steps)
+
+let test_asap_alap_slack () =
+  let instrs = straightline_instrs fir_block in
+  let slack = Schedule.slack fir_block instrs in
+  Array.iter
+    (fun s -> Alcotest.(check bool) "slack >= 0" true (s >= 0))
+    slack;
+  (* at least one operation on the critical path *)
+  Alcotest.(check bool) "some zero-slack op" true
+    (Array.exists (fun s -> s = 0) slack)
+
+let test_chaining_budget () =
+  let instrs = straightline_instrs fir_block in
+  let tight =
+    Schedule.list_schedule fir_block
+      { Schedule.unconstrained with Schedule.chain_budget = 1. }
+      instrs
+  in
+  let loose =
+    Schedule.list_schedule fir_block
+      { Schedule.unconstrained with Schedule.chain_budget = 1000. }
+      instrs
+  in
+  Alcotest.(check bool) "tight budget needs more steps" true
+    (tight.Schedule.num_steps > loose.Schedule.num_steps);
+  Array.iter
+    (fun d ->
+      Alcotest.(check bool) "loose chaining keeps delay reasonable" true
+        (d <= 1000.))
+    loose.Schedule.step_delay
+
+(* --- timing constraints --- *)
+
+let test_constraints () =
+  let program =
+    Typecheck.parse_and_check
+      {|
+      int f(int a, int b) {
+        int r = 0;
+        constrain(1, 2) {
+          int p = a * b;
+          int q = a + b;
+          r = p ^ q;
+        }
+        return r;
+      }
+      |}
+  in
+  let lowered = Lower.lower_program program ~entry:"f" in
+  let constraints = Constrain.of_lowering lowered.Lower.constraints in
+  Alcotest.(check int) "one constraint" 1 (List.length constraints);
+  let c = List.hd constraints in
+  let blk = Cir.block lowered.Lower.func c.Constrain.block in
+  let sched =
+    Schedule.list_schedule lowered.Lower.func Schedule.unconstrained
+      blk.Cir.instrs
+  in
+  let statuses = Constrain.check constraints ~block:c.Constrain.block sched in
+  Alcotest.(check int) "one status" 1 (List.length statuses);
+  let s = List.hd statuses in
+  Alcotest.(check bool) "unconstrained chaining meets 2 cycles" true
+    (s.Constrain.actual_cycles <= 2)
+
+let test_hardwarec_exploration () =
+  (* a tight constraint forces the explorer to a bigger allocation *)
+  let src =
+    {|
+    int f(int a, int b, int c, int d) {
+      int r = 0;
+      constrain(1, 2) {
+        int p0 = a * b;
+        int p1 = c * d;
+        int p2 = (a + c) * (b + d);
+        int p3 = (a - c) * (b - d);
+        r = (p0 + p1) ^ (p2 + p3);
+      }
+      return r;
+    }
+    |}
+  in
+  let program = Typecheck.parse_and_check src in
+  let design, report = Hardwarec.compile program ~entry:"f" in
+  Alcotest.(check bool) "constraints satisfied after exploration" true
+    (List.for_all
+       (fun s ->
+         s.Constrain.actual_cycles <= s.Constrain.constraint_.Constrain.max_cycles)
+       report.Hardwarec.statuses);
+  (* and the design still computes the right value *)
+  let expected = Interp.run_int src ~entry:"f" ~args:[ 3; 5; 7; 9 ] in
+  Alcotest.(check (option int)) "exploration preserves semantics"
+    (Some expected)
+    (Design.run_int design [ 3; 5; 7; 9 ])
+
+(* --- pipelining --- *)
+
+let test_pipeline_regular_loop () =
+  let func =
+    lower
+      {|
+      int va[64];
+      int vb[64];
+      int f(int n) {
+        int acc = 0;
+        for (int i = 0; i < 64; i = i + 1) {
+          acc = acc + va[i] * vb[i];
+        }
+        return acc + n;
+      }
+      |}
+      ~entry:"f"
+  in
+  let r = Pipeline.modulo_schedule func in
+  Alcotest.(check bool) "II is small" true (r.Pipeline.ii <= 3);
+  Alcotest.(check bool)
+    (Printf.sprintf "pipelining speeds up the regular loop (%.2fx)"
+       r.Pipeline.speedup)
+    true (r.Pipeline.speedup > 1.5);
+  Alcotest.(check bool) "II >= RecMII" true (r.Pipeline.ii >= r.Pipeline.rec_mii);
+  Alcotest.(check bool) "II >= ResMII" true (r.Pipeline.ii >= r.Pipeline.res_mii)
+
+let test_pipeline_recurrence_bound () =
+  (* gcd: the division sits on the loop-carried dependence cycle, so RecMII
+     is dominated by the divider latency and pipelining buys ~nothing *)
+  let func =
+    lower
+      "int f(int a, int b) { while (b != 0) { int t = b; b = a % b; a = t; } return a; }"
+      ~entry:"f"
+  in
+  let r = Pipeline.modulo_schedule func in
+  Alcotest.(check bool)
+    (Printf.sprintf "division recurrence bounds II (rec_mii=%d)"
+       r.Pipeline.rec_mii)
+    true
+    (r.Pipeline.rec_mii >= 10);
+  Alcotest.(check bool)
+    (Printf.sprintf "speedup stays small (%.2f)" r.Pipeline.speedup)
+    true (r.Pipeline.speedup < 1.6)
+
+let test_pipeline_rejects_irregular () =
+  (* data-dependent branch inside the loop body -> irregular *)
+  let func =
+    lower
+      {|
+      int data[16];
+      int f(int n) {
+        int acc = 0;
+        for (int i = 0; i < 16; i = i + 1) {
+          if (data[i] > n) { acc = acc + 1; } else { acc = acc - data[i]; }
+        }
+        return acc;
+      }
+      |}
+      ~entry:"f"
+  in
+  (* note: the ?: would be if-converted to a mux by lowering, but an
+     explicit if/else with different side effects keeps real control flow *)
+  match Pipeline.modulo_schedule func with
+  | exception Pipeline.Irregular _ -> ()
+  | _ -> Alcotest.fail "expected the irregular loop to be rejected"
+
+(* --- ILP limits --- *)
+
+let matmul_trace =
+  lazy
+    (let func = lower (Workloads.matmul).Workloads.source ~entry:"matmul" in
+     Ilp_limits.trace_of func ~args:[ 3 ])
+
+let test_ilp_monotone_in_window () =
+  let trace = Lazy.force matmul_trace in
+  let ipc w renaming =
+    (Ilp_limits.measure trace
+       { Ilp_limits.window = w; renaming; speculation = `Perfect })
+      .Ilp_limits.ipc
+  in
+  let widths = [ 1; 4; 16; 64; 256 ] in
+  let series = List.map (fun w -> ipc w true) widths in
+  List.iter2
+    (fun a b -> Alcotest.(check bool) "IPC grows with window" true (a <= b +. 1e-9))
+    (List.filteri (fun i _ -> i < List.length series - 1) series)
+    (List.tl series);
+  (* window of 1 is sequential *)
+  Alcotest.(check bool) "window 1 is ~1 IPC" true (ipc 1 true <= 1.0 +. 1e-9)
+
+let test_ilp_renaming_helps () =
+  let trace = Lazy.force matmul_trace in
+  let with_renaming =
+    Ilp_limits.measure trace
+      { Ilp_limits.window = 64; renaming = true; speculation = `Perfect }
+  and without =
+    Ilp_limits.measure trace
+      { Ilp_limits.window = 64; renaming = false; speculation = `Perfect }
+  in
+  Alcotest.(check bool) "renaming never hurts" true
+    (with_renaming.Ilp_limits.ipc >= without.Ilp_limits.ipc -. 1e-9)
+
+let test_ilp_speculation_matters () =
+  let trace = Lazy.force matmul_trace in
+  let _, no_spec, dataflow = Ilp_limits.sweep ~windows:[ 16 ] trace in
+  Alcotest.(check bool) "no-speculation is slower than dataflow" true
+    (no_spec.Ilp_limits.ipc <= dataflow.Ilp_limits.ipc +. 1e-9);
+  Alcotest.(check bool) "dataflow limit is finite and > 1" true
+    (dataflow.Ilp_limits.ipc > 1.)
+
+(* --- CFG simplification --- *)
+
+let test_simplify_equivalence () =
+  List.iter
+    (fun (w : Workloads.t) ->
+      let program = Workloads.parse w in
+      let lowered = Lower.lower_program program ~entry:w.Workloads.entry in
+      let simplified, _ = Simplify.simplify lowered.Lower.func in
+      Alcotest.(check bool) "fewer blocks" true
+        (Cir.num_blocks simplified <= Cir.num_blocks lowered.Lower.func);
+      List.iter
+        (fun args ->
+          let expected = Workloads.reference w args in
+          let outcome =
+            Cir_interp.run simplified ~args:(Design.int_args args)
+          in
+          Alcotest.(check int)
+            (Printf.sprintf "simplify preserves %s" w.Workloads.name)
+            expected
+            (Bitvec.to_int (Option.get outcome.Cir_interp.return_value)))
+        w.Workloads.arg_sets)
+    Workloads.sequential
+
+let suite =
+  ( "sched",
+    [ Alcotest.test_case "list schedule legality" `Quick
+        test_list_schedule_legal;
+      Alcotest.test_case "resource limits" `Quick
+        test_resource_limits_respected;
+      Alcotest.test_case "asap/alap slack" `Quick test_asap_alap_slack;
+      Alcotest.test_case "chaining budget" `Quick test_chaining_budget;
+      Alcotest.test_case "timing constraints" `Quick test_constraints;
+      Alcotest.test_case "hardwarec exploration" `Quick
+        test_hardwarec_exploration;
+      Alcotest.test_case "pipeline regular loop" `Quick
+        test_pipeline_regular_loop;
+      Alcotest.test_case "pipeline recurrence bound" `Quick
+        test_pipeline_recurrence_bound;
+      Alcotest.test_case "pipeline rejects irregular" `Quick
+        test_pipeline_rejects_irregular;
+      Alcotest.test_case "ILP monotone in window" `Quick
+        test_ilp_monotone_in_window;
+      Alcotest.test_case "ILP renaming helps" `Quick test_ilp_renaming_helps;
+      Alcotest.test_case "ILP speculation matters" `Quick
+        test_ilp_speculation_matters;
+      Alcotest.test_case "simplify equivalence" `Quick
+        test_simplify_equivalence ] )

@@ -1,0 +1,145 @@
+(* SSA construction and CFG analysis structural tests: dominance
+   relations, dominance frontiers, phi placement at joins and loop
+   headers. *)
+
+let lower src ~entry =
+  let program = Typecheck.parse_and_check src in
+  fst (Simplify.simplify (Lower.lower_program program ~entry).Lower.func)
+
+let diamond_func =
+  lower
+    "int f(int a, int b) { int r; if (a < b) { r = b - a; } else { r = a - b; } return r + 1; }"
+    ~entry:"f"
+
+let loop_func =
+  lower
+    "int f(int n) { int s = 0; int i = 0; while (i < n) { s = s + i; i = i + 1; } return s; }"
+    ~entry:"f"
+
+let test_dominance_relations () =
+  let cfg = Cfg.build diamond_func in
+  let entry = diamond_func.Cir.fn_entry in
+  (* entry dominates all; no other block dominates entry *)
+  for b = 0 to Cir.num_blocks diamond_func - 1 do
+    if Cfg.reachable cfg b then begin
+      Alcotest.(check bool) "entry dominates all" true
+        (Cfg.dominates cfg entry b);
+      if b <> entry then
+        Alcotest.(check bool) "nothing dominates entry" false
+          (Cfg.dominates cfg b entry)
+    end
+  done;
+  (* dominance is reflexive and antisymmetric *)
+  for b = 0 to Cir.num_blocks diamond_func - 1 do
+    if Cfg.reachable cfg b then
+      Alcotest.(check bool) "reflexive" true (Cfg.dominates cfg b b)
+  done
+
+let test_branch_arms_not_dominating_join () =
+  let cfg = Cfg.build diamond_func in
+  (* the two arms of the diamond must not dominate the join block *)
+  let entry_blk = Cir.block diamond_func diamond_func.Cir.fn_entry in
+  match entry_blk.Cir.term with
+  | Cir.T_branch { if_true; if_false; _ } ->
+    let join =
+      match (Cir.block diamond_func if_true).Cir.term with
+      | Cir.T_jump j -> j
+      | _ -> Alcotest.fail "diamond arm should jump to join"
+    in
+    Alcotest.(check bool) "then-arm !dom join" false
+      (Cfg.dominates cfg if_true join);
+    Alcotest.(check bool) "else-arm !dom join" false
+      (Cfg.dominates cfg if_false join);
+    (* and the join is in both arms' dominance frontier *)
+    let df = Cfg.dominance_frontiers cfg in
+    Alcotest.(check bool) "join in DF(then)" true (List.mem join df.(if_true));
+    Alcotest.(check bool) "join in DF(else)" true (List.mem join df.(if_false))
+  | _ -> Alcotest.fail "expected entry to branch"
+
+let test_phi_at_join () =
+  let ssa = Ssa.of_func diamond_func in
+  Alcotest.(check (list int)) "ssa is valid" [] (Ssa.verify ssa);
+  (* exactly the one merged variable (r) gets a phi at the join *)
+  let total_phis =
+    Array.fold_left (fun acc l -> acc + List.length l) 0 ssa.Ssa.phis
+  in
+  Alcotest.(check int) "one phi for the diamond" 1 total_phis;
+  (* with two incoming sources *)
+  Array.iter
+    (List.iter (fun (phi : Ssa.phi) ->
+         Alcotest.(check int) "two-way phi" 2 (List.length phi.Ssa.p_srcs)))
+    ssa.Ssa.phis
+
+let test_phi_at_loop_header () =
+  let ssa = Ssa.of_func loop_func in
+  Alcotest.(check (list int)) "ssa is valid" [] (Ssa.verify ssa);
+  let cfg = Cfg.build loop_func in
+  let loops = Cfg.natural_loops cfg in
+  Alcotest.(check int) "one loop" 1 (List.length loops);
+  let header = (List.hd loops).Cfg.header in
+  (* both s and i flow around the back edge: two phis at the header *)
+  Alcotest.(check int) "two loop-carried phis" 2
+    (List.length ssa.Ssa.phis.(header))
+
+let test_ssa_single_assignment_per_definition () =
+  (* after SSA, no register in the instruction stream is written twice *)
+  let ssa = Ssa.of_func loop_func in
+  let seen = Hashtbl.create 32 in
+  Array.iter
+    (fun blk ->
+      List.iter
+        (fun instr ->
+          match Cir.def_of instr with
+          | Some r ->
+            Alcotest.(check bool)
+              (Printf.sprintf "r%d defined once" r)
+              false (Hashtbl.mem seen r);
+            Hashtbl.replace seen r ()
+          | None -> ())
+        blk.Cir.instrs)
+    ssa.Ssa.func.Cir.fn_blocks
+
+let test_rpo_starts_at_entry () =
+  let cfg = Cfg.build loop_func in
+  Alcotest.(check int) "rpo head is entry" loop_func.Cir.fn_entry
+    cfg.Cfg.rpo.(0);
+  (* rpo visits each reachable block exactly once *)
+  let sorted = Array.to_list cfg.Cfg.rpo |> List.sort_uniq compare in
+  Alcotest.(check int) "no duplicates" (Array.length cfg.Cfg.rpo)
+    (List.length sorted)
+
+let test_unreachable_blocks_excluded () =
+  (* lowering creates dead continuation blocks after return/break; the
+     CFG marks them unreachable (pre-simplify) *)
+  let program =
+    Typecheck.parse_and_check
+      "int f(int a) { if (a > 0) { return 1; } return 2; }"
+  in
+  let raw = (Lower.lower_program program ~entry:"f").Lower.func in
+  let cfg = Cfg.build raw in
+  let unreachable = ref 0 in
+  for b = 0 to Cir.num_blocks raw - 1 do
+    if not (Cfg.reachable cfg b) then incr unreachable
+  done;
+  Alcotest.(check bool) "some dead blocks before simplify" true
+    (!unreachable > 0);
+  let simplified, _ = Simplify.simplify raw in
+  let cfg' = Cfg.build simplified in
+  for b = 0 to Cir.num_blocks simplified - 1 do
+    Alcotest.(check bool) "all blocks reachable after simplify" true
+      (Cfg.reachable cfg' b)
+  done
+
+let suite =
+  ( "ssa-cfg",
+    [ Alcotest.test_case "dominance relations" `Quick
+        test_dominance_relations;
+      Alcotest.test_case "diamond dominance frontier" `Quick
+        test_branch_arms_not_dominating_join;
+      Alcotest.test_case "phi at join" `Quick test_phi_at_join;
+      Alcotest.test_case "phi at loop header" `Quick test_phi_at_loop_header;
+      Alcotest.test_case "single assignment" `Quick
+        test_ssa_single_assignment_per_definition;
+      Alcotest.test_case "reverse postorder" `Quick test_rpo_starts_at_entry;
+      Alcotest.test_case "unreachable block handling" `Quick
+        test_unreachable_blocks_excluded ] )

@@ -1,0 +1,86 @@
+(* Workload suite pinning: the oracle values of every built-in workload
+   are written down here, so any semantic drift in the frontend or
+   interpreter shows up as an explicit diff rather than silently shifting
+   every equivalence test's baseline. *)
+
+let pinned =
+  [ ("gcd", [ 54; 24 ], 6);
+    ("gcd", [ 1071; 462 ], 21);
+    ("fib", [ 10 ], 55);
+    ("fib", [ 24 ], 46368);
+    ("fir", [ 1; 2 ], -68);
+    ("fir", [ 5; -3 ], 76);
+    ("dotprod", [ 1; 1 ], -1224);
+    ("dotprod", [ 3; -2 ], -1936);
+    ("matmul", [ 1 ], -3312);
+    ("matmul", [ 3 ], -1328);
+    ("bsort", [ 7 ], 7935054);
+    ("crc", [ 0 ], 129);
+    ("crc", [ 0xA5 ], 144);
+    ("popcount", [ 0xABCD ], 10);
+    ("popcount", [ -1 ], 32);
+    ("checksum", [ 3 ], 23593068);
+    ("histogram", [ 1 ], -547221728);
+    ("histogram", [ 5 ], -492105440);
+    ("isqrt_newton", [ 10000 ], 100);
+    ("isqrt_newton", [ 123456 ], 351);
+    ("transpose", [ 2 ], 1678033216);
+    ("producer_consumer", [ 4 ], 112);
+    ("pointer_sum", [ 5 ], 335);
+    ("recursion", [ 6 ], 2108);
+    ("dynamic_list", [ 5 ], 30) ]
+
+let test_pinned_values () =
+  List.iter
+    (fun (name, args, expected) ->
+      match Workloads.find name with
+      | None -> Alcotest.fail ("missing workload " ^ name)
+      | Some w ->
+        Alcotest.(check int)
+          (Printf.sprintf "%s(%s)" name
+             (String.concat "," (List.map string_of_int args)))
+          expected
+          (Workloads.reference w args))
+    pinned
+
+let test_all_workloads_have_args () =
+  List.iter
+    (fun (w : Workloads.t) ->
+      Alcotest.(check bool)
+        (w.Workloads.name ^ " has argument vectors")
+        true
+        (w.Workloads.arg_sets <> []);
+      (* every workload's source parses, checks and runs on every vector *)
+      List.iter
+        (fun args -> ignore (Workloads.reference w args))
+        w.Workloads.arg_sets)
+    Workloads.all
+
+let test_categories_partition () =
+  (* concurrent workloads use par/channels, thorny ones use pointers or
+     recursion, and the sequential set accepts the bachc dialect *)
+  List.iter
+    (fun (w : Workloads.t) ->
+      let program = Workloads.parse w in
+      Alcotest.(check bool)
+        (w.Workloads.name ^ " accepted by bachc")
+        true
+        (Dialect.check Dialect.bachc program = []))
+    Workloads.sequential;
+  List.iter
+    (fun (w : Workloads.t) ->
+      let program = Workloads.parse w in
+      Alcotest.(check bool)
+        (w.Workloads.name ^ " only fits c2verilog")
+        true
+        (Dialect.check Dialect.c2verilog program = []
+        && Dialect.check Dialect.bachc program <> []))
+    Workloads.thorny
+
+let suite =
+  ( "workloads",
+    [ Alcotest.test_case "pinned oracle values" `Quick test_pinned_values;
+      Alcotest.test_case "all workloads runnable" `Quick
+        test_all_workloads_have_args;
+      Alcotest.test_case "category consistency" `Quick
+        test_categories_partition ] )
