@@ -81,5 +81,9 @@ let () =
      Hardware\nSynthesis from C-like Languages\" (DATE 2005).";
   Experiments.run_all ();
   Ablations.run_all ();
+  (* the settle-strategy comparison always runs: its node-eval counters are
+     deterministic (only the wall-time column is machine-dependent) and it
+     doubles as a differential check of the event-driven evaluator *)
+  Neteval_bench.run_all ();
   if not skip_perf then compile_pipeline_benchmarks ()
   else print_endline "\n(E10 skipped: --skip-perf)"

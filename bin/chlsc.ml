@@ -85,9 +85,78 @@ let verilog_arg =
 let area_flag =
   Arg.(value & flag & info [ "area" ] ~doc:"Print the area/timing report")
 
+let stats_flag =
+  Arg.(value & flag
+       & info [ "stats" ]
+           ~doc:
+             "With --args: print netlist-evaluator performance counters \
+              (nodes evaluated, events propagated, cycles, wall time) for \
+              the run, comparing event-driven settling against the \
+              full-sweep oracle")
+
+(* Drive the design's netlist view through the evaluator under both settling
+   strategies and print the activity counters side by side. *)
+let print_sim_stats (design : Design.t) args =
+  match design.Design.netlist () with
+  | None ->
+    print_endline "simulator stats: this backend has no netlist view"
+  | Some nl ->
+    let ins = Netlist.inputs nl in
+    if List.length ins <> List.length args then
+      Printf.eprintf "--stats: netlist takes %d input(s), got %d argument(s)\n"
+        (List.length ins) (List.length args)
+    else begin
+      let inputs =
+        List.map2
+          (fun (name, s) v ->
+            (name, Bitvec.of_int ~width:(Netlist.width nl s) v))
+          ins args
+      in
+      let describe label (st : Neteval.stats) =
+        Printf.printf
+          "  %-13s %d cycles, %d node evals (%.1f/settle), %d events, %.2f ms\n"
+          label st.Neteval.cycles st.Neteval.nodes_evaluated
+          (float_of_int st.Neteval.nodes_evaluated
+          /. float_of_int (max 1 st.Neteval.settles))
+          st.Neteval.events
+          (st.Neteval.wall_time *. 1000.)
+      in
+      Printf.printf "netlist evaluator stats (%d nodes):\n" (Netlist.length nl);
+      if not (List.mem_assoc "done" (Netlist.outputs nl)) then begin
+        (* combinational netlist: one settle, identical under both
+           strategies *)
+        let _, st = Neteval.eval_combinational_stats nl ~inputs in
+        describe "combinational" st
+      end
+      else begin
+        let run strategy =
+          Neteval.run_until_done_stats ~strategy nl ~inputs ~done_name:"done"
+            ~max_cycles:2_000_000
+        in
+        match (run Neteval.Event_driven, run Neteval.Full_sweep) with
+        | Ok (ev_out, ev_cycles, ev), Ok (fs_out, fs_cycles, fs) ->
+          describe "event-driven:" ev;
+          describe "full-sweep:" fs;
+          let agree =
+            ev_cycles = fs_cycles
+            && List.for_all2
+                 (fun (n1, v1) (n2, v2) -> n1 = n2 && Bitvec.equal v1 v2)
+                 ev_out fs_out
+          in
+          Printf.printf
+            "  node-eval reduction: %.1fx; bit-exact vs full sweep: %s\n"
+            (float_of_int fs.Neteval.nodes_evaluated
+            /. float_of_int (max 1 ev.Neteval.nodes_evaluated))
+            (if agree then "yes" else "NO — evaluator bug");
+          if not agree then exit 2
+        | Error `Timeout, _ | _, Error `Timeout ->
+          print_endline "  (timed out)"
+      end
+    end
+
 let compile_cmd =
   let doc = "Synthesize the program with a surveyed scheme" in
-  let run file entry backend args verilog area =
+  let run file entry backend args verilog area stats =
     let source = read_file file in
     let program = Chls.parse source in
     (match Dialect.check (Chls.dialect_of backend) program with
@@ -104,7 +173,9 @@ let compile_cmd =
     | Some p -> Printf.printf "estimated clock period: %.1f\n" p
     | None -> print_endline "no clock (combinational or asynchronous)");
     (match args with
-    | None -> ()
+    | None ->
+      if stats then
+        print_endline "--stats needs a run: pass --args as well"
     | Some args ->
       let args = parse_args_list args in
       let r = design.Design.run (Design.int_args args) in
@@ -124,6 +195,12 @@ let compile_cmd =
         Printf.eprintf "MISMATCH vs software semantics (expected %d)\n"
           expected;
         exit 2
+      end;
+      if stats then begin
+        List.iter
+          (fun (k, v) -> Printf.printf "sim %s: %s\n" k v)
+          r.Design.sim_stats;
+        print_sim_stats design args
       end);
     if area then begin
       match design.Design.area () with
@@ -143,7 +220,7 @@ let compile_cmd =
   in
   Cmd.v (Cmd.info "compile" ~doc)
     Term.(const run $ file_arg $ entry_arg $ backend_arg $ args_arg
-          $ verilog_arg $ area_flag)
+          $ verilog_arg $ area_flag $ stats_flag)
 
 let analyze_cmd =
   let doc =

@@ -210,7 +210,8 @@ let compile (program : Ast.program) ~entry : Design.t =
       globals = outcome.globals;
       memories = outcome.memories;
       cycles = Some outcome.cycles;
-      time_units = None }
+      time_units = None;
+      sim_stats = [] }
   in
   let code_words = Array.length compiled.C2verilog.code in
   { Design.design_name = entry;
@@ -233,6 +234,7 @@ let compile (program : Ast.program) ~entry : Design.t =
             num_registers = 4 })
     ;
     verilog = (fun () -> Some (Lazy.force verilog));
+    netlist = (fun () -> None);
     clock_period = Some 30.;
     stats =
       [ ("code words", string_of_int code_words);

@@ -26,7 +26,8 @@ let compile ?(timing = Asim.default_timing) (program : Ast.program) ~entry :
       globals = outcome.Asim.globals;
       memories = outcome.Asim.memories;
       cycles = None;
-      time_units = Some outcome.Asim.completion_time }
+      time_units = Some outcome.Asim.completion_time;
+      sim_stats = [] }
   in
   { Design.design_name = entry;
     backend = "cash";
@@ -43,6 +44,7 @@ let compile ?(timing = Asim.default_timing) (program : Ast.program) ~entry :
             num_nodes = stats.Dfg.total;
             num_registers = 0 });
     verilog = (fun () -> None);
+    netlist = (fun () -> None);
     clock_period = None;
     stats =
       [ ("dataflow nodes", string_of_int stats.Dfg.total);

@@ -419,7 +419,7 @@ let compile (program : Ast.program) ~entry : Design.t =
         (fun (name, _) v -> (name, v))
         (Netlist.inputs nl) args
     in
-    let outputs = Neteval.eval_combinational nl ~inputs in
+    let outputs, st = Neteval.eval_combinational_stats nl ~inputs in
     { Design.result = List.assoc_opt "result" outputs;
       globals =
         List.filter_map
@@ -430,13 +430,17 @@ let compile (program : Ast.program) ~entry : Design.t =
           outputs;
       memories = [];
       cycles = None;
-      time_units = Some report.Area.critical_path }
+      time_units = Some report.Area.critical_path;
+      sim_stats =
+        [ ("nodes_evaluated", string_of_int st.Neteval.nodes_evaluated);
+          ("events", string_of_int st.Neteval.events) ] }
   in
   { Design.design_name = entry;
     backend = "cones";
     run;
     area = (fun () -> Some report);
     verilog = (fun () -> Some (Verilog.to_string nl));
+    netlist = (fun () -> Some nl);
     clock_period = None;
     stats =
       [ ("nodes", string_of_int report.Area.num_nodes);

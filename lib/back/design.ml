@@ -13,6 +13,9 @@ type run_result = {
   memories : (string * Bitvec.t array) list;
   cycles : int option; (* clocked designs *)
   time_units : float option; (* asynchronous / combinational settle time *)
+  sim_stats : (string * string) list;
+      (* simulator performance counters for this run, when the backend's
+         behavioural model tracks them (e.g. netlist evaluator activity) *)
 }
 
 type t = {
@@ -21,6 +24,9 @@ type t = {
   run : Bitvec.t list -> run_result;
   area : unit -> Area.report option;
   verilog : unit -> string option;
+  netlist : unit -> Netlist.t option;
+      (* the word-level structural view, when the backend elaborates to one
+         (area and Verilog derive from it; the CLI uses it for --stats) *)
   clock_period : float option; (* estimated; None for unclocked designs *)
   stats : (string * string) list; (* backend-specific key/value facts *)
 }

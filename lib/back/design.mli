@@ -11,6 +11,8 @@ type run_result = {
   memories : (string * Bitvec.t array) list;  (** array globals after *)
   cycles : int option;  (** clocked designs *)
   time_units : float option;  (** asynchronous / combinational settle *)
+  sim_stats : (string * string) list;
+      (** simulator performance counters for this run, when tracked *)
 }
 
 type t = {
@@ -19,6 +21,10 @@ type t = {
   run : Bitvec.t list -> run_result;
   area : unit -> Area.report option;
   verilog : unit -> string option;
+  netlist : unit -> Netlist.t option;
+      (** the word-level structural view, when the backend elaborates to
+          one (area and Verilog derive from it; [chlsc --stats] drives it
+          through the netlist evaluator) *)
   clock_period : float option;  (** estimated; [None] when unclocked *)
   stats : (string * string) list;  (** backend-specific facts *)
 }

@@ -22,7 +22,8 @@ let build ~backend_name ~dialect ?(mem_forwarding = false)
       globals = outcome.Rtlsim.globals;
       memories = outcome.Rtlsim.memories;
       cycles = Some outcome.Rtlsim.cycles;
-      time_units = None }
+      time_units = None;
+      sim_stats = [] }
   in
   let elaborated = lazy (Rtlgen.elaborate fsmd) in
   let area () =
@@ -35,11 +36,17 @@ let build ~backend_name ~dialect ?(mem_forwarding = false)
     | e -> Some (Verilog.to_string e.Rtlgen.netlist)
     | exception Rtlgen.Elaboration_error _ -> None
   in
+  let netlist () =
+    match Lazy.force elaborated with
+    | e -> Some e.Rtlgen.netlist
+    | exception Rtlgen.Elaboration_error _ -> None
+  in
   { Design.design_name = entry;
     backend = backend_name;
     run;
     area;
     verilog;
+    netlist;
     clock_period = Some (Float.max 1. (Fsmd.critical_state_delay fsmd));
     stats =
       [ ("states", string_of_int (Fsmd.num_states fsmd));

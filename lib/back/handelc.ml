@@ -615,7 +615,8 @@ let compile_with_policy ~backend_name ~dialect ~policy
       globals;
       memories;
       cycles = Some outcome.cycles;
-      time_units = None }
+      time_units = None;
+      sim_stats = [] }
   in
   (* Structural views for the sequential subset: an FSMD cut at assignment
      boundaries elaborates to a netlist for area/Verilog.  Concurrent
@@ -661,6 +662,9 @@ let compile_with_policy ~backend_name ~dialect ~policy
       (fun () ->
         Option.map (fun e -> Verilog.to_string e.Rtlgen.netlist)
           (Lazy.force structural));
+    netlist =
+      (fun () ->
+        Option.map (fun e -> e.Rtlgen.netlist) (Lazy.force structural));
     clock_period =
       Some
         (match policy with

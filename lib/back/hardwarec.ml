@@ -95,7 +95,8 @@ let compile ?(resources = Schedule.default_allocation)
       globals = outcome.Rtlsim.globals;
       memories = outcome.Rtlsim.memories;
       cycles = Some outcome.Rtlsim.cycles;
-      time_units = None }
+      time_units = None;
+      sim_stats = [] }
   in
   let elaborated = lazy (Rtlgen.elaborate fsmd) in
   let design =
@@ -111,6 +112,11 @@ let compile ?(resources = Schedule.default_allocation)
         (fun () ->
           match Lazy.force elaborated with
           | e -> Some (Verilog.to_string e.Rtlgen.netlist)
+          | exception Rtlgen.Elaboration_error _ -> None);
+      netlist =
+        (fun () ->
+          match Lazy.force elaborated with
+          | e -> Some e.Rtlgen.netlist
           | exception Rtlgen.Elaboration_error _ -> None);
       clock_period = Some (Float.max 1. (Fsmd.critical_state_delay fsmd));
       stats =

@@ -224,7 +224,8 @@ let to_design (b : builder) : Design.t =
       globals = outcome.Rtlsim.globals;
       memories = outcome.Rtlsim.memories;
       cycles = Some outcome.Rtlsim.cycles;
-      time_units = None }
+      time_units = None;
+      sim_stats = [] }
   in
   let elaborated = lazy (Rtlgen.elaborate fsmd) in
   { Design.design_name = b.name;
@@ -239,6 +240,11 @@ let to_design (b : builder) : Design.t =
       (fun () ->
         match Lazy.force elaborated with
         | e -> Some (Verilog.to_string e.Rtlgen.netlist)
+        | exception Rtlgen.Elaboration_error _ -> None);
+    netlist =
+      (fun () ->
+        match Lazy.force elaborated with
+        | e -> Some e.Rtlgen.netlist
         | exception Rtlgen.Elaboration_error _ -> None);
     clock_period = Some (Float.max 1. (Fsmd.critical_state_delay fsmd));
     stats = [ ("states", string_of_int (Fsmd.num_states fsmd)) ] }

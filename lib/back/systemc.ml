@@ -232,12 +232,14 @@ let compile ?(resources = Schedule.default_allocation)
         globals = [];
         memories = [];
         cycles = Some cycles;
-        time_units = None }
+        time_units = None;
+        sim_stats = [] }
   in
   { Design.design_name = entry;
     backend = "systemc";
     run;
     area = (fun () -> None);
     verilog = (fun () -> None);
+    netlist = (fun () -> None);
     clock_period = Some (Float.max 1. (Fsmd.critical_state_delay fsmd));
     stats = [ ("states", string_of_int (Fsmd.num_states fsmd)) ] }

@@ -1,10 +1,30 @@
 (** Netlist evaluator: combinational settling plus a cycle-accurate
     sequential stepper.  Registers and memories update between cycles with
-    read-before-write semantics. *)
+    read-before-write semantics.
+
+    The evaluator is event-driven by default: a dirty worklist seeded by
+    changed primary inputs and by register/memory updates means a node is
+    re-evaluated only when one of its inputs actually changed.  The
+    original full in-order sweep is kept as a selectable strategy and
+    serves as the differential-testing oracle (both strategies are
+    bit-exact against each other; see test/test_random.ml). *)
+
+type strategy =
+  | Full_sweep  (** re-evaluate every node on every settle (the oracle) *)
+  | Event_driven  (** re-evaluate only nodes whose inputs changed *)
+
+type stats = {
+  mutable cycles : int;  (** clock edges ([tick]s) taken *)
+  mutable settles : int;  (** settle passes (full or incremental) *)
+  mutable nodes_evaluated : int;  (** node evaluations across all settles *)
+  mutable events : int;  (** evaluations whose value actually changed *)
+  mutable wall_time : float;  (** seconds spent inside [run_until_done] *)
+}
 
 type t
 
-val create : Netlist.t -> t
+val create : ?strategy:strategy -> Netlist.t -> t
+(** Default strategy is [Event_driven]. *)
 
 val apply_unop : Netlist.unop -> Bitvec.t -> Bitvec.t
 val apply_binop : Netlist.binop -> Bitvec.t -> Bitvec.t -> Bitvec.t
@@ -16,8 +36,20 @@ val settle : t -> inputs:(string * Bitvec.t) list -> unit
     read as zero. *)
 
 val value : t -> Netlist.signal -> Bitvec.t
+
+val output_signal : t -> string -> Netlist.signal
+(** Resolve an output name to its signal id (so polling loops can look the
+    name up once, not per observation).
+    @raise Invalid_argument on unknown output names, listing the outputs
+    the netlist does have. *)
+
 val output : t -> string -> Bitvec.t
+(** @raise Invalid_argument on unknown output names. *)
+
 val cycle : t -> int
+
+val stats : t -> stats
+(** Live performance counters for this evaluator instance. *)
 
 val tick : t -> unit
 (** Clock edge: commit register and memory updates. *)
@@ -26,9 +58,23 @@ val eval_combinational :
   Netlist.t -> inputs:(string * Bitvec.t) list -> (string * Bitvec.t) list
 (** Evaluate a purely combinational netlist once; returns the outputs. *)
 
+val eval_combinational_stats :
+  Netlist.t -> inputs:(string * Bitvec.t) list ->
+  (string * Bitvec.t) list * stats
+(** Like [eval_combinational] but also returns the evaluator counters. *)
+
 val run_until_done :
+  ?strategy:strategy ->
   Netlist.t -> inputs:(string * Bitvec.t) list -> done_name:string ->
   max_cycles:int ->
   ((string * Bitvec.t) list * int, [ `Timeout ]) result
 (** Clock a sequential netlist until the 1-bit output [done_name] is set;
-    returns the outputs and the cycle count. *)
+    returns the outputs and the cycle count.  The done output and the
+    primary inputs are resolved to signal ids once, before the loop. *)
+
+val run_until_done_stats :
+  ?strategy:strategy ->
+  Netlist.t -> inputs:(string * Bitvec.t) list -> done_name:string ->
+  max_cycles:int ->
+  ((string * Bitvec.t) list * int * stats, [ `Timeout ]) result
+(** Like [run_until_done] but also returns the evaluator counters. *)

@@ -226,8 +226,9 @@ let elaborate (fsmd : Fsmd.t) : elaborated =
   { netlist = nl; done_state; init_state }
 
 (** Run the elaborated netlist to completion and return (result, globals,
-    cycles). *)
-let simulate ?(max_cycles = 2_000_000) (e : elaborated) ~args ~func =
+    cycles) plus the evaluator's performance counters. *)
+let simulate_stats ?(max_cycles = 2_000_000) ?strategy (e : elaborated) ~args
+    ~func =
   let inputs =
     List.map2
       (fun (name, r) v ->
@@ -235,8 +236,12 @@ let simulate ?(max_cycles = 2_000_000) (e : elaborated) ~args ~func =
           Bitvec.resize ~signed:true ~width:(Cir.reg_width func r) v ))
       func.Cir.fn_params args
   in
-  match
-    Neteval.run_until_done e.netlist ~inputs ~done_name:"done" ~max_cycles
-  with
-  | Ok (outputs, cycles) -> Ok (outputs, cycles)
+  Neteval.run_until_done_stats ?strategy e.netlist ~inputs ~done_name:"done"
+    ~max_cycles
+
+(** Run the elaborated netlist to completion and return (result, globals,
+    cycles). *)
+let simulate ?max_cycles ?strategy (e : elaborated) ~args ~func =
+  match simulate_stats ?max_cycles ?strategy e ~args ~func with
+  | Ok (outputs, cycles, _) -> Ok (outputs, cycles)
   | Error `Timeout -> Error `Timeout
