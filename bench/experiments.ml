@@ -11,8 +11,8 @@ let kernels_for_ilp =
 
 let lowered (w : Workloads.t) =
   let program = Workloads.parse w in
-  let l = Lower.lower_program program ~entry:w.Workloads.entry in
-  fst (Simplify.simplify l.Lower.func)
+  let l, _ = Passes.lower_simplify program ~entry:w.Workloads.entry in
+  l.Lower.func
 
 (* ---------------------------------------------------------------- T1 -- *)
 
@@ -137,8 +137,8 @@ let pipelining () =
     (List.map
        (fun (name, cls, src) ->
          let program = Typecheck.parse_and_check src in
-         let func, _ =
-           Simplify.simplify (Lower.lower_program program ~entry:"f").Lower.func
+         let func =
+           (fst (Passes.lower_simplify program ~entry:"f")).Lower.func
          in
          let class_name =
            match cls with
@@ -164,8 +164,8 @@ let pipelining () =
   | None -> ()
   | Some (name, _, src) ->
     let program = Typecheck.parse_and_check src in
-    let func, _ =
-      Simplify.simplify (Lower.lower_program program ~entry:"f").Lower.func
+    let func =
+      (fst (Passes.lower_simplify program ~entry:"f")).Lower.func
     in
     let converted, branches = Ifconv.convert func in
     (match Pipeline.modulo_schedule converted with
@@ -203,7 +203,7 @@ let timing_schemes () =
         w.Workloads.description
         (String.concat ","
            (List.map string_of_int (List.hd w.Workloads.arg_sets)));
-      let widths = [ 15; 9; 9; 12; 11 ] in
+      let widths = [ 15; 9; 9; 12; 11; 24 ] in
       let rows =
         List.filter_map
           (fun backend ->
@@ -212,6 +212,13 @@ let timing_schemes () =
             else begin
               let design =
                 Chls.compile_program backend program ~entry:w.Workloads.entry
+              in
+              let pipeline =
+                match design.Design.pass_trace with
+                | [] -> "(source only)"
+                | trace ->
+                  String.concat "; "
+                    (List.map (fun r -> r.Passes.pass_name) trace)
               in
               let r =
                 design.Design.run (Design.int_args (List.hd w.Workloads.arg_sets))
@@ -235,12 +242,14 @@ let timing_schemes () =
                 | None -> "-"
               in
               Some
-                [ Chls.backend_name backend; cycles; period; wall; area ]
+                [ Chls.backend_name backend; cycles; period; wall; area;
+                  pipeline ]
             end)
           timing_backends
       in
       Tables.table widths
-        [ "backend"; "cycles"; "period"; "wall time"; "area (GE)" ] rows)
+        [ "backend"; "cycles"; "period"; "wall time"; "area (GE)";
+          "pipeline" ] rows)
     [ Workloads.gcd; Workloads.fir; Workloads.matmul; Workloads.crc ];
   Printf.printf
     "\nShape to check: transmogrifier minimizes cycles but pays the longest \
@@ -491,7 +500,8 @@ let bitwidth () =
     List.map
       (fun (name, src, entry) ->
         let program = Typecheck.parse_and_check src in
-        let func = (Lower.lower_program program ~entry).Lower.func in
+        let lower_only = Passes.pipeline "bitwidth-study" in
+        let func = (fst (Passes.run lower_only program ~entry)).Lower.func in
         let r = Bitwidth.infer func in
         let declared_area =
           Bitwidth.datapath_area func ~widths:r.Bitwidth.declared

@@ -10,13 +10,14 @@ let compile_pipeline_benchmarks () =
   let open Bechamel in
   let src = (Workloads.matmul).Workloads.source in
   let program = Typecheck.parse_and_check src in
-  let lowered = Lower.lower_program program ~entry:"matmul" in
-  let simplified, _ = Simplify.simplify lowered.Lower.func in
+  let lower_only = Passes.pipeline "bench-lower" in
+  let lowered, _ = Passes.lower_simplify program ~entry:"matmul" in
+  let simplified = lowered.Lower.func in
   let tests =
     [ Test.make ~name:"parse+typecheck" (Staged.stage (fun () ->
           ignore (Typecheck.parse_and_check src)));
       Test.make ~name:"lower-to-cir" (Staged.stage (fun () ->
-          ignore (Lower.lower_program program ~entry:"matmul")));
+          ignore (Passes.run lower_only program ~entry:"matmul")));
       Test.make ~name:"ssa-construction" (Staged.stage (fun () ->
           ignore (Ssa.of_func simplified)));
       Test.make ~name:"list-schedule" (Staged.stage (fun () ->

@@ -28,8 +28,8 @@ type row = {
 
 let lowered (w : Workloads.t) =
   let program = Workloads.parse w in
-  let l = Lower.lower_program program ~entry:w.Workloads.entry in
-  fst (Simplify.simplify l.Lower.func)
+  let l, _ = Passes.lower_simplify program ~entry:w.Workloads.entry in
+  l.Lower.func
 
 (* Wall times from a single run are dominated by clock granularity for
    these small kernels; take the fastest of a few repetitions (the stats

@@ -94,6 +94,29 @@ let stats_flag =
               the run, comparing event-driven settling against the \
               full-sweep oracle")
 
+let trace_passes_flag =
+  Arg.(value & flag
+       & info [ "trace-passes" ]
+           ~doc:
+             "Print the backend's declared pipeline and a per-pass table: \
+              wall time, IR-size deltas (blocks, instructions, registers) \
+              and vectors verified")
+
+let dump_ir_arg =
+  Arg.(value & opt_all string []
+       & info [ "dump-ir" ] ~docv:"PASS"
+           ~doc:
+             "Dump the IR after the named pass (repeatable; \"lower\" names \
+              the lowering stage itself)")
+
+let verify_passes_flag =
+  Arg.(value & flag
+       & info [ "verify-passes" ]
+           ~doc:
+             "Differentially verify every semantics-preserving pass against \
+              the CIR interpreter on the --args vector, failing loudly on \
+              divergence (requires --args)")
+
 (* Drive the design's netlist view through the evaluator under both settling
    strategies and print the activity counters side by side. *)
 let print_sim_stats (design : Design.t) args =
@@ -156,7 +179,8 @@ let print_sim_stats (design : Design.t) args =
 
 let compile_cmd =
   let doc = "Synthesize the program with a surveyed scheme" in
-  let run file entry backend args verilog area stats =
+  let run file entry backend args verilog area stats trace_passes dump_ir
+      verify_passes =
     let source = read_file file in
     let program = Chls.parse source in
     (match Dialect.check (Chls.dialect_of backend) program with
@@ -164,8 +188,37 @@ let compile_cmd =
     | { Dialect.rule; where } :: _ ->
       Printf.eprintf "error: %s (in %s)\n" rule where;
       exit 1);
-    let design = Chls.compile_program backend program ~entry in
+    let verify =
+      if not verify_passes then []
+      else
+        match args with
+        | Some a -> [ parse_args_list a ]
+        | None ->
+          Printf.eprintf
+            "--verify-passes needs an argument vector: pass --args as well\n";
+          exit 1
+    in
+    Passes.set_options
+      { Passes.default_options with Passes.verify; dump_after = dump_ir };
+    let design =
+      match Chls.compile_program backend program ~entry with
+      | design -> design
+      | exception Passes.Verification_failed msg ->
+        Printf.eprintf "PASS VERIFICATION FAILED: %s\n" msg;
+        exit 2
+    in
     Printf.printf "backend: %s\n" design.Design.backend;
+    if trace_passes then begin
+      (match Chls.pipeline_of backend with
+      | Some pl ->
+        Printf.printf "pipeline %s: %s\n" pl.Passes.pl_name
+          (Passes.describe pl)
+      | None -> ());
+      if verify_passes then
+        print_endline
+          "per-pass differential verification vs Cir_interp: ok (bit-exact)";
+      print_string (Passes.render_table design.Design.pass_trace)
+    end;
     List.iter
       (fun (k, v) -> Printf.printf "%s: %s\n" k v)
       design.Design.stats;
@@ -220,7 +273,8 @@ let compile_cmd =
   in
   Cmd.v (Cmd.info "compile" ~doc)
     Term.(const run $ file_arg $ entry_arg $ backend_arg $ args_arg
-          $ verilog_arg $ area_flag $ stats_flag)
+          $ verilog_arg $ area_flag $ stats_flag $ trace_passes_flag
+          $ dump_ir_arg $ verify_passes_flag)
 
 let analyze_cmd =
   let doc =
@@ -229,8 +283,8 @@ let analyze_cmd =
   let run file entry =
     let source = read_file file in
     let program = Chls.parse source in
-    let lowered = Lower.lower_program program ~entry in
-    let func, _ = Simplify.simplify lowered.Lower.func in
+    let lowered, _ = Passes.lower_simplify program ~entry in
+    let func = lowered.Lower.func in
     print_endline "=== CIR (after inlining and CFG simplification) ===";
     print_string (Cir.to_string func);
     print_endline "\n=== per-block schedule (default allocation) ===";

@@ -46,8 +46,8 @@ let () =
     Chls.all_compiling_backends;
   (* pipelining analysis of the accumulation loop *)
   print_newline ();
-  let lowered = Lower.lower_program program ~entry:w.Workloads.entry in
-  let func, _ = Simplify.simplify lowered.Lower.func in
+  let lowered, _ = Passes.lower_simplify program ~entry:w.Workloads.entry in
+  let func = lowered.Lower.func in
   (match Pipeline.modulo_schedule func with
   | r ->
     Printf.printf

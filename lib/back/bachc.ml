@@ -17,6 +17,8 @@
 
 let dialect = Dialect.bachc
 
+let pipeline = Passes.pipeline "bachc" ~func_passes:[ Passes.simplify_pass ]
+
 let compile ?(resources = Schedule.default_allocation)
     (program : Ast.program) ~entry : Design.t =
   let has_concurrency =
@@ -39,7 +41,7 @@ let compile ?(resources = Schedule.default_allocation)
     Handelc.compile_with_policy ~backend_name:"bachc" ~dialect
       ~policy:`Scheduled program ~entry
   else
-    Fsmd_common.build ~backend_name:"bachc" ~dialect
+    Fsmd_common.build ~backend_name:"bachc" ~dialect ~pipeline
       ~schedule_block:(fun func blk ->
         Schedule.list_schedule func resources blk.Cir.instrs)
       program ~entry

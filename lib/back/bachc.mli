@@ -8,6 +8,10 @@
 
 val dialect : Dialect.t
 
+val pipeline : Passes.pipeline
+(** [lower; simplify] (sequential programs; the concurrent subset runs on
+    the Handel-C statement machine instead). *)
+
 val compile :
   ?resources:Schedule.resources -> Ast.program -> entry:string -> Design.t
 

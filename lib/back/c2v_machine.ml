@@ -191,11 +191,17 @@ let run ?(max_cycles = 50_000_000) (compiled : C2verilog.compiled)
 
 (* --- Design wrapper --- *)
 
+(* C2Verilog compiles the AST straight to stack code (pointers and
+   recursion need the unified memory, not CIR's partitioned model), so
+   its declared pipeline is source-only and empty. *)
+let pipeline = Passes.pipeline "c2verilog" ~lowers:false
+
 let compile (program : Ast.program) ~entry : Design.t =
   (match Dialect.check Dialect.c2verilog program with
   | [] -> ()
   | { Dialect.rule; where } :: _ ->
     failwith (Printf.sprintf "c2verilog: %s (in %s)" rule where));
+  let program, pass_trace = Passes.run_program_passes pipeline program ~entry in
   let compiled = C2verilog.compile_program program ~entry in
   let verilog = lazy (C2v_verilog.to_string compiled ~name:entry) in
   let ret_width =
@@ -241,4 +247,5 @@ let compile (program : Ast.program) ~entry : Design.t =
         ("unified memory words",
          string_of_int compiled.C2verilog.memory_words);
         ("pointers fully partitionable",
-         string_of_bool (Pointer.fully_partitionable pointer_info)) ] }
+         string_of_bool (Pointer.fully_partitionable pointer_info)) ];
+    pass_trace }

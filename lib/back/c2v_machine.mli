@@ -25,6 +25,10 @@ val run :
     @raise Runtime_error on stack overflow / wild access,
     @raise Timeout past [max_cycles]. *)
 
+val pipeline : Passes.pipeline
+(** Source-only and empty: the stack-machine compiler consumes the AST
+    (pointers and recursion need the unified memory, not CIR). *)
+
 val compile : Ast.program -> entry:string -> Design.t
 (** The full backend: compile to stack code, wrap the machine; the
     Verilog view is the generated processor (see {!C2v_verilog}). *)

@@ -10,13 +10,17 @@
 
 let dialect = Dialect.cash
 
+(* No CFG simplification: the Pegasus-style circuit is built from the SSA
+   of the raw lowering, where every tiny block is just a cheap merge. *)
+let pipeline = Passes.pipeline "cash"
+
 let compile ?(timing = Asim.default_timing) (program : Ast.program) ~entry :
     Design.t =
   (match Dialect.check dialect program with
   | [] -> ()
   | { Dialect.rule; where } :: _ ->
     failwith (Printf.sprintf "cash: %s (in %s)" rule where));
-  let lowered = Lower.lower_program program ~entry in
+  let lowered, pass_trace = Passes.run pipeline program ~entry in
   let ssa = Ssa.of_func lowered.Lower.func in
   let circuit = Dfg.of_ssa ssa in
   let stats = Dfg.stats circuit in
@@ -51,4 +55,5 @@ let compile ?(timing = Asim.default_timing) (program : Ast.program) ~entry :
         ("operators", string_of_int stats.Dfg.operators);
         ("merges (mu)", string_of_int stats.Dfg.merges);
         ("steers (eta)", string_of_int stats.Dfg.steers);
-        ("memory ops", string_of_int stats.Dfg.memory_ops) ] }
+        ("memory ops", string_of_int stats.Dfg.memory_ops) ];
+    pass_trace }

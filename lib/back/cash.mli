@@ -4,5 +4,9 @@
 
 val dialect : Dialect.t
 
+val pipeline : Passes.pipeline
+(** [lower] only: the dataflow circuit is built from the SSA of the raw
+    lowering. *)
+
 val compile :
   ?timing:Asim.timing -> Ast.program -> entry:string -> Design.t

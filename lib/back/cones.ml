@@ -409,8 +409,12 @@ let synthesize (program : Ast.program) ~entry : Netlist.t =
     program.Ast.globals;
   nl
 
+(* Cones never lowers to CIR: it symbolically executes the AST, unrolling
+   for loops itself.  The declared pipeline is source-only and empty. *)
+let pipeline = Passes.pipeline "cones" ~lowers:false
+
 let compile (program : Ast.program) ~entry : Design.t =
-  (* Cones unrolls for loops itself during symbolic execution. *)
+  let program, pass_trace = Passes.run_program_passes pipeline program ~entry in
   let nl = synthesize program ~entry in
   let report = Area.analyze nl in
   let run args =
@@ -444,4 +448,5 @@ let compile (program : Ast.program) ~entry : Design.t =
     clock_period = None;
     stats =
       [ ("nodes", string_of_int report.Area.num_nodes);
-        ("critical path", Printf.sprintf "%.1f" report.Area.critical_path) ] }
+        ("critical path", Printf.sprintf "%.1f" report.Area.critical_path) ];
+    pass_trace }

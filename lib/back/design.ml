@@ -29,6 +29,9 @@ type t = {
          (area and Verilog derive from it; the CLI uses it for --stats) *)
   clock_period : float option; (* estimated; None for unclocked designs *)
   stats : (string * string) list; (* backend-specific key/value facts *)
+  pass_trace : Passes.trace;
+      (* per-pass compile record from the backend's declared pipeline;
+         [] for structural backends that run no passes *)
 }
 
 let int_args args = List.map (Bitvec.of_int ~width:64) args

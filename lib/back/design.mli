@@ -27,6 +27,11 @@ type t = {
           through the netlist evaluator) *)
   clock_period : float option;  (** estimated; [None] when unclocked *)
   stats : (string * string) list;  (** backend-specific facts *)
+  pass_trace : Passes.trace;
+      (** per-pass compile record (time, IR-size deltas, vectors verified)
+          from the backend's declared pipeline; [[]] for structural
+          backends that run no passes.  [chlsc compile --trace-passes]
+          renders it. *)
 }
 
 val int_args : int list -> Bitvec.t list

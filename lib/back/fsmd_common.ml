@@ -1,9 +1,9 @@
 (* Shared plumbing for the FSMD-producing backends (Transmogrifier C,
-   Bach C/Cyber, HardwareC): lower the program, build an FSMD under the
-   backend's scheduling policy, and wrap simulator + elaboration into a
-   Design.t. *)
+   Bach C/Cyber, HardwareC): run the backend's declared pipeline through
+   the pass manager, build an FSMD under the backend's scheduling policy,
+   and wrap simulator + elaboration into a Design.t. *)
 
-let build ~backend_name ~dialect ?(mem_forwarding = false)
+let build ~backend_name ~dialect ?(mem_forwarding = false) ?pipeline
     ~(schedule_block : Cir.func -> Cir.block -> Schedule.schedule)
     ?(extra_stats = fun (_ : Lower.result) (_ : Fsmd.t) -> [])
     (program : Ast.program) ~entry : Design.t =
@@ -11,8 +11,14 @@ let build ~backend_name ~dialect ?(mem_forwarding = false)
   | [] -> ()
   | { Dialect.rule; where } :: _ ->
     failwith (Printf.sprintf "%s: %s (in %s)" backend_name rule where));
-  let lowered = Lower.lower_program program ~entry in
-  let func, _ = Simplify.simplify lowered.Lower.func in
+  let pipeline =
+    match pipeline with
+    | Some p -> p
+    | None ->
+      Passes.pipeline backend_name ~func_passes:[ Passes.simplify_pass ]
+  in
+  let lowered, pass_trace = Passes.run pipeline program ~entry in
+  let func = lowered.Lower.func in
   let fsmd =
     Fsmd.of_func ~mem_forwarding func ~schedule_block:(schedule_block func)
   in
@@ -52,4 +58,5 @@ let build ~backend_name ~dialect ?(mem_forwarding = false)
       [ ("states", string_of_int (Fsmd.num_states fsmd));
         ("instructions", string_of_int (Cir.num_instrs func));
         ("regions", string_of_int (Array.length func.Cir.fn_regions)) ]
-      @ extra_stats lowered fsmd }
+      @ extra_stats lowered fsmd;
+    pass_trace }

@@ -1,9 +1,12 @@
-(** Shared plumbing for the FSMD-producing backends: dialect check, lower,
-    CFG-simplify, build the FSMD under the backend's scheduling policy,
-    and wrap simulator + elaboration into a Design. *)
+(** Shared plumbing for the FSMD-producing backends: dialect check, run
+    the declared pipeline through the pass manager, build the FSMD under
+    the backend's scheduling policy, and wrap simulator + elaboration
+    into a Design. *)
 
 val build :
   backend_name:string -> dialect:Dialect.t -> ?mem_forwarding:bool ->
+  ?pipeline:Passes.pipeline ->
   schedule_block:(Cir.func -> Cir.block -> Schedule.schedule) ->
   ?extra_stats:(Lower.result -> Fsmd.t -> (string * string) list) ->
   Ast.program -> entry:string -> Design.t
+(** [pipeline] defaults to [backend_name: lower; simplify]. *)

@@ -573,6 +573,7 @@ let estimate_area (program : Ast.program) =
 (* --- Design wrappers --------------------------------------------------- *)
 
 let compile_with_policy ~backend_name ~dialect ~policy
+    ?(program_passes : Passes.program_pass list = [])
     (program : Ast.program) ~entry : Design.t =
   (match Dialect.check dialect program with
   | [] -> ()
@@ -582,6 +583,14 @@ let compile_with_policy ~backend_name ~dialect ~policy
     match policy with
     | `One_per_assignment -> `One_cycle_per_assignment
     | `Scheduled -> `Scheduled
+  in
+  (* Source-level recoding (e.g. E4's temporary fusion) is declared to the
+     pass manager so it is timed and differentially checked; the statement
+     machine below runs the transformed program. *)
+  let program, source_trace =
+    Passes.run_program_passes
+      (Passes.pipeline backend_name ~program_passes ~lowers:false)
+      program ~entry
   in
   let run args =
     let outcome = run ~policy program ~entry ~args in
@@ -621,35 +630,48 @@ let compile_with_policy ~backend_name ~dialect ~policy
   (* Structural views for the sequential subset: an FSMD cut at assignment
      boundaries elaborates to a netlist for area/Verilog.  Concurrent
      programs (par/channels) have no netlist view; the statement machine
-     remains the timing reference in all cases. *)
+     remains the timing reference in all cases.  Lowering runs eagerly
+     through the pass manager (cheap, and a Lower failure becomes a
+     visible diagnostic instead of a silently absent view); FSMD
+     construction and netlist elaboration stay lazy. *)
+  let is_concurrent =
+    List.exists
+      (fun f ->
+        Ast.exists_stmt
+          (fun st ->
+            match st.Ast.s with
+            | Ast.Par _ | Ast.Chan_send _ -> true
+            | Ast.Expr _ | Ast.Decl _ | Ast.If _ | Ast.While _
+            | Ast.Do_while _ | Ast.For _ | Ast.Return _ | Ast.Break
+            | Ast.Continue | Ast.Block _ | Ast.Delay | Ast.Constrain _ ->
+              false)
+          f)
+      program.Ast.funcs
+  in
+  let lowered_view =
+    if is_concurrent then
+      Error "concurrent program (par/channels): statement machine only"
+    else
+      match
+        Passes.run
+          (Passes.pipeline (backend_name ^ "-structural")
+             ~func_passes:[ Passes.simplify_pass ])
+          program ~entry
+      with
+      | lowered, trace -> Ok (lowered.Lower.func, trace)
+      | exception Lower.Error msg -> Error ("lowering failed: " ^ msg)
+  in
   let structural =
     lazy
-      (let is_concurrent =
-         List.exists
-           (fun f ->
-             Ast.exists_stmt
-               (fun st ->
-                 match st.Ast.s with
-                 | Ast.Par _ | Ast.Chan_send _ -> true
-                 | Ast.Expr _ | Ast.Decl _ | Ast.If _ | Ast.While _
-                 | Ast.Do_while _ | Ast.For _ | Ast.Return _ | Ast.Break
-                 | Ast.Continue | Ast.Block _ | Ast.Delay | Ast.Constrain _
-                   -> false)
-               f)
-           program.Ast.funcs
-       in
-       if is_concurrent then None
-       else
-         match Lower.lower_program program ~entry with
-         | lowered ->
-           let func, _ = Simplify.simplify lowered.Lower.func in
-           let fsmd =
-             Fsmd.of_func func ~schedule_block:(Fsmd.handelc_schedule func)
-           in
-           (match Rtlgen.elaborate fsmd with
-           | e -> Some e
-           | exception Rtlgen.Elaboration_error _ -> None)
-         | exception Lower.Error _ -> None)
+      (match lowered_view with
+      | Error _ -> None
+      | Ok (func, _) -> (
+        let fsmd =
+          Fsmd.of_func func ~schedule_block:(Fsmd.handelc_schedule func)
+        in
+        match Rtlgen.elaborate fsmd with
+        | e -> Some e
+        | exception Rtlgen.Elaboration_error _ -> None))
   in
   { Design.design_name = entry;
     backend = backend_name;
@@ -671,9 +693,20 @@ let compile_with_policy ~backend_name ~dialect ~policy
         | `One_cycle_per_assignment -> estimate_clock_period program
         | `Scheduled -> 20.);
     stats =
-      [ ("estimated area", Printf.sprintf "%.0f" (estimate_area program)) ] }
+      (("estimated area", Printf.sprintf "%.0f" (estimate_area program))
+      ::
+      (match lowered_view with
+      | Error msg -> [ ("structural view", "unavailable: " ^ msg) ]
+      | Ok _ -> []));
+    pass_trace =
+      (source_trace
+      @ match lowered_view with Ok (_, trace) -> trace | Error _ -> []) }
 
 let dialect = Dialect.handelc
+
+let pipeline =
+  Passes.pipeline "handelc-structural"
+    ~func_passes:[ Passes.simplify_pass ]
 
 let compile (program : Ast.program) ~entry : Design.t =
   compile_with_policy ~backend_name:"handelc" ~dialect
@@ -681,4 +714,6 @@ let compile (program : Ast.program) ~entry : Design.t =
 
 (** E4 recoding: fuse single-use temporaries first, saving their cycles. *)
 let compile_fused (program : Ast.program) ~entry : Design.t =
-  compile (Loopopt.fuse_program program) ~entry
+  compile_with_policy ~backend_name:"handelc" ~dialect
+    ~policy:`One_per_assignment
+    ~program_passes:[ Passes.fuse_temps_pass ] program ~entry

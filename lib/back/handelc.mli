@@ -39,10 +39,19 @@ val estimate_area : Ast.program -> float
 
 val compile_with_policy :
   backend_name:string -> dialect:Dialect.t ->
-  policy:[ `One_per_assignment | `Scheduled ] -> Ast.program ->
+  policy:[ `One_per_assignment | `Scheduled ] ->
+  ?program_passes:Passes.program_pass list -> Ast.program ->
   entry:string -> Design.t
+(** [program_passes] are source-level recodings declared to the pass
+    manager (timed, differentially checked); the statement machine runs
+    the transformed program.  When the sequential structural view cannot
+    be lowered, the reason appears as a ["structural view"] diagnostic in
+    the design's stats. *)
 
 val dialect : Dialect.t
+
+val pipeline : Passes.pipeline
+(** The structural view's pipeline: [lower; simplify]. *)
 
 val compile : Ast.program -> entry:string -> Design.t
 (** The Handel-C rule: one cycle per assignment. *)

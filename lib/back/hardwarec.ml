@@ -17,6 +17,11 @@ exception Unsatisfiable of string
 
 let dialect = Dialect.hardwarec
 
+(* No CFG simplification: constrain(min,max) ranges name block ids and
+   instruction indices from the raw lowering, which simplify would
+   invalidate. *)
+let pipeline = Passes.pipeline "hardwarec"
+
 type report = {
   statuses : Constrain.status list; (* final constraint status *)
   exploration : (string * int * bool) list; (* allocation, steps, ok *)
@@ -29,7 +34,7 @@ let compile ?(resources = Schedule.default_allocation)
   | [] -> ()
   | { Dialect.rule; where } :: _ ->
     failwith (Printf.sprintf "hardwarec: %s (in %s)" rule where));
-  let lowered = Lower.lower_program program ~entry in
+  let lowered, pass_trace = Passes.run pipeline program ~entry in
   let func = lowered.Lower.func in
   let constraints = Constrain.of_lowering lowered.Lower.constraints in
   (* pick an allocation meeting all max constraints, per block *)
@@ -122,7 +127,8 @@ let compile ?(resources = Schedule.default_allocation)
       stats =
         [ ("states", string_of_int (Fsmd.num_states fsmd));
           ("constraints", string_of_int (List.length constraints));
-          ("allocation", fst !chosen) ] }
+          ("allocation", fst !chosen) ];
+      pass_trace }
   in
   ( design,
     { statuses; exploration = !exploration; chosen_allocation = fst !chosen } )

@@ -8,6 +8,10 @@ exception Unsatisfiable of string
 
 val dialect : Dialect.t
 
+val pipeline : Passes.pipeline
+(** [lower] only: timing constraints name raw block/instruction indices,
+    which CFG simplification would invalidate. *)
+
 type report = {
   statuses : Constrain.status list;  (** final constraint status *)
   exploration : (string * int * bool) list;

@@ -230,6 +230,7 @@ let to_design (b : builder) : Design.t =
   let elaborated = lazy (Rtlgen.elaborate fsmd) in
   { Design.design_name = b.name;
     backend = "ocapi";
+    pass_trace = [];  (* structural EDSL: no compilation pipeline runs *)
     run;
     area =
       (fun () ->

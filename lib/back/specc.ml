@@ -41,6 +41,10 @@ type report = { checks : check list; all_equivalent : bool }
 
 let dialect = Dialect.specc
 
+(* The architecture-level refinement is a scheduled FSMD. *)
+let pipeline =
+  Passes.pipeline "specc-arch" ~func_passes:[ Passes.simplify_pass ]
+
 let uses_concurrency (program : Ast.program) =
   List.exists
     (fun f ->
@@ -88,7 +92,7 @@ let refine (program : Ast.program) ~entry ~test_vectors : Design.t * report =
       Handelc.compile_with_policy ~backend_name:"specc-arch" ~dialect
         ~policy:`Scheduled program ~entry
     else
-      Fsmd_common.build ~backend_name:"specc-arch" ~dialect
+      Fsmd_common.build ~backend_name:"specc-arch" ~dialect ~pipeline
         ~schedule_block:(fun func blk ->
           Schedule.list_schedule func Schedule.default_allocation
             blk.Cir.instrs)

@@ -21,6 +21,9 @@ type report = { checks : check list; all_equivalent : bool }
 
 val dialect : Dialect.t
 
+val pipeline : Passes.pipeline
+(** The architecture-level refinement's pipeline: [lower; simplify]. *)
+
 val refine :
   Ast.program -> entry:string -> test_vectors:int list list ->
   Design.t * report

@@ -209,6 +209,8 @@ let of_fsmd (fsmd : Fsmd.t) ~args : kernel * signal * signal =
       end);
   (kernel, done_sig, result)
 
+let pipeline = Passes.pipeline "systemc" ~func_passes:[ Passes.simplify_pass ]
+
 (** SystemC backend entry point: schedule like Bach C, then simulate the
     FSMD as a clock-edge-triggered process network. *)
 let compile ?(resources = Schedule.default_allocation)
@@ -217,8 +219,8 @@ let compile ?(resources = Schedule.default_allocation)
   | [] -> ()
   | { Dialect.rule; where } :: _ ->
     failwith (Printf.sprintf "systemc: %s (in %s)" rule where));
-  let lowered = Lower.lower_program program ~entry in
-  let func, _ = Simplify.simplify lowered.Lower.func in
+  let lowered, pass_trace = Passes.run pipeline program ~entry in
+  let func = lowered.Lower.func in
   let fsmd =
     Fsmd.of_func func ~schedule_block:(fun blk ->
         Schedule.list_schedule func resources blk.Cir.instrs)
@@ -242,4 +244,5 @@ let compile ?(resources = Schedule.default_allocation)
     verilog = (fun () -> None);
     netlist = (fun () -> None);
     clock_period = Some (Float.max 1. (Fsmd.critical_state_delay fsmd));
-    stats = [ ("states", string_of_int (Fsmd.num_states fsmd)) ] }
+    stats = [ ("states", string_of_int (Fsmd.num_states fsmd)) ];
+    pass_trace }

@@ -45,5 +45,8 @@ val of_fsmd : Fsmd.t -> args:Bitvec.t list -> kernel * signal * signal
 (** Model an FSMD as a clocked process network; returns
     (kernel, done, result). *)
 
+val pipeline : Passes.pipeline
+(** [lower; simplify]. *)
+
 val compile :
   ?resources:Schedule.resources -> Ast.program -> entry:string -> Design.t

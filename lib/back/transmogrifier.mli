@@ -6,6 +6,12 @@
 
 val dialect : Dialect.t
 
+val pipeline : Passes.pipeline
+(** [lower; simplify]. *)
+
+val unrolled_pipeline : Passes.pipeline
+(** [unroll-loops; lower; simplify] (E4's recoding, as a declared pass). *)
+
 val compile : Ast.program -> entry:string -> Design.t
 
 val compile_unrolled : Ast.program -> entry:string -> Design.t

@@ -72,6 +72,21 @@ let dialect_of = function
 (** Can this (checked) program be compiled by this backend? *)
 let accepts backend program = Dialect.check (dialect_of backend) program = []
 
+(** The pipeline a backend declares to the pass manager ([None] for the
+    structural Ocapi EDSL, which runs no compilation pipeline). *)
+let pipeline_of = function
+  | Cones_backend -> Some Cones.pipeline
+  | Hardwarec_backend -> Some Hardwarec.pipeline
+  | Transmogrifier_backend -> Some Transmogrifier.pipeline
+  | Systemc_backend -> Some Systemc.pipeline
+  | Ocapi_backend -> None
+  | C2verilog_backend -> Some C2v_machine.pipeline
+  | Cyber_backend -> Some Bachc.pipeline
+  | Handelc_backend -> Some Handelc.pipeline
+  | Specc_backend -> Some Specc.pipeline
+  | Bachc_backend -> Some Bachc.pipeline
+  | Cash_backend -> Some Cash.pipeline
+
 (** Synthesize a checked program with the chosen backend. *)
 let compile_program backend (program : Ast.program) ~entry : Design.t =
   match backend with

@@ -34,6 +34,12 @@ val dialect_of : backend -> Dialect.t
 val accepts : backend -> Ast.program -> bool
 (** Does the backend's dialect accept this (checked) program? *)
 
+val pipeline_of : backend -> Passes.pipeline option
+(** The pipeline a backend declares to the pass manager; [None] for the
+    structural Ocapi EDSL.  Concurrent programs on Handel-C/Bach C run on
+    the statement machine, where the declared pipeline only produces the
+    structural view. *)
+
 val compile_program : backend -> Ast.program -> entry:string -> Design.t
 (** Synthesize a checked program.  Fails if the dialect rejects it. *)
 

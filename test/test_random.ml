@@ -326,8 +326,25 @@ let prop_event_driven_equals_full_sweep =
         QCheck.Test.fail_reportf
           "timeout under only one settle strategy on:\n%s" src)
 
+(* Simplify must be a fixpoint of itself: a second application changes
+   nothing.  Anything it still wants to rewrite after one application is a
+   missed rewrite the trace would misattribute to later passes. *)
+let prop_simplify_idempotent =
+  QCheck.Test.make ~name:"simplify is idempotent on random programs"
+    ~count:200 arb_program (fun src ->
+      let program = Typecheck.parse_and_check src in
+      let lowered = Lower.lower_program program ~entry:"f" in
+      let once, _ = Simplify.simplify lowered.Lower.func in
+      let again, _ = Simplify.simplify once in
+      if Cir.to_string once = Cir.to_string again then true
+      else
+        QCheck.Test.fail_reportf
+          "simplify is not idempotent on:\n%s\nfirst:\n%s\nsecond:\n%s" src
+          (Cir.to_string once) (Cir.to_string again))
+
 let suite =
   ( "random-differential",
-    [ QCheck_alcotest.to_alcotest prop_all_layers_agree;
+    [ QCheck_alcotest.to_alcotest prop_simplify_idempotent;
+      QCheck_alcotest.to_alcotest prop_all_layers_agree;
       QCheck_alcotest.to_alcotest prop_cones_agrees;
       QCheck_alcotest.to_alcotest prop_event_driven_equals_full_sweep ] )
