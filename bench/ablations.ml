@@ -119,9 +119,8 @@ let handshake_sweep () =
       let rows =
         List.map
           (fun handshake ->
-            let timing = { Asim.default_timing with Asim.handshake } in
             let design =
-              Cash.compile ~timing program ~entry:w.Workloads.entry
+              Cash.compile ~handshake program ~entry:w.Workloads.entry
             in
             let r =
               design.Design.run (Design.int_args (List.hd w.Workloads.arg_sets))

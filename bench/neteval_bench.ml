@@ -85,32 +85,34 @@ let reduction r =
   float_of_int r.full.Neteval.nodes_evaluated
   /. float_of_int (max 1 r.event.Neteval.nodes_evaluated)
 
+(* The report goes through the unified metrics registry (Obs.Metrics), so
+   BENCH_neteval.json shares its renderer — and its determinism rules —
+   with `chlsc compile --metrics-json`.  Counter values are exact ints;
+   ratios render at fixed precision; only wall_ms varies run to run. *)
 let json_of_row r =
   let strategy_json (st : Neteval.stats) =
-    Printf.sprintf
-      {|{ "node_evals": %d, "events": %d, "evals_per_settle": %.2f, "wall_ms": %.4f }|}
-      st.Neteval.nodes_evaluated st.Neteval.events (evals_per_settle st)
-      (st.Neteval.wall_time *. 1000.)
+    Metrics.Obj
+      [ ("node_evals", Metrics.Int st.Neteval.nodes_evaluated);
+        ("events", Metrics.Int st.Neteval.events);
+        ("evals_per_settle", Metrics.Fixed (2, evals_per_settle st));
+        ("wall_ms", Metrics.Fixed (4, st.Neteval.wall_time *. 1000.)) ]
   in
-  Printf.sprintf
-    {|    { "kernel": "%s", "args": [%s], "nodes": %d, "cycles": %d,
-      "full_sweep": %s,
-      "event_driven": %s,
-      "eval_reduction": %.2f, "bit_exact": %b }|}
-    r.name
-    (String.concat ", " (List.map string_of_int r.args))
-    r.nodes r.cycles
-    (strategy_json r.full)
-    (strategy_json r.event)
-    (reduction r) r.bit_exact
+  Metrics.Obj
+    [ ("kernel", Metrics.String r.name);
+      ("args", Metrics.List (List.map (fun a -> Metrics.Int a) r.args));
+      ("nodes", Metrics.Int r.nodes);
+      ("cycles", Metrics.Int r.cycles);
+      ("full_sweep", strategy_json r.full);
+      ("event_driven", strategy_json r.event);
+      ("eval_reduction", Metrics.Fixed (2, reduction r));
+      ("bit_exact", Metrics.Bool r.bit_exact) ]
 
 let emit_json path rows =
-  let oc = open_out path in
-  Printf.fprintf oc
-    "{\n  \"experiment\": \"neteval settle: full-sweep vs event-driven\",\n\
-    \  \"kernels\": [\n%s\n  ]\n}\n"
-    (String.concat ",\n" (List.map json_of_row rows));
-  close_out oc
+  let m = Metrics.create () in
+  Metrics.set_string m "experiment"
+    "neteval settle: full-sweep vs event-driven";
+  Metrics.set m "kernels" (Metrics.List (List.map json_of_row rows));
+  Metrics.write_file m path
 
 let run_all () =
   Tables.section "BENCH" "Netlist simulation: full-sweep vs event-driven settle"

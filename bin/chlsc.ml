@@ -117,6 +117,39 @@ let verify_passes_flag =
               the CIR interpreter on the --args vector, failing loudly on \
               divergence (requires --args)")
 
+let vcd_arg =
+  Arg.(value & opt (some string) None
+       & info [ "vcd" ] ~docv:"OUT.vcd"
+           ~doc:
+             "With --args: write the behavioural simulation as a VCD \
+              waveform (FSMD backends trace the FSM state, every register \
+              and memory writes per cycle; cash traces token firings at \
+              their completion times; cones traces netlist value changes)")
+
+let vcd_netlist_arg =
+  Arg.(value & opt (some string) None
+       & info [ "vcd-netlist" ] ~docv:"OUT.vcd"
+           ~doc:
+             "With --args: drive the elaborated netlist through the \
+              event-driven evaluator and write every signal change as a \
+              VCD waveform (the event worklist is the change list)")
+
+let profile_flag =
+  Arg.(value & flag
+       & info [ "profile" ]
+           ~doc:
+             "With --args: print execution histograms — FSM state visit \
+              counts (summing to the cycle count) and the hottest netlist \
+              nodes by evaluation count")
+
+let metrics_json_arg =
+  Arg.(value & opt (some string) None
+       & info [ "metrics-json" ] ~docv:"OUT.json"
+           ~doc:
+             "Write a machine-readable run report (schema chls.metrics/1): \
+              design facts, the per-pass compile trace, simulator counters \
+              and the run outcome, rendered deterministically")
+
 (* Drive the design's netlist view through the evaluator under both settling
    strategies and print the activity counters side by side. *)
 let print_sim_stats (design : Design.t) args =
@@ -125,9 +158,11 @@ let print_sim_stats (design : Design.t) args =
     print_endline "simulator stats: this backend has no netlist view"
   | Some nl ->
     let ins = Netlist.inputs nl in
-    if List.length ins <> List.length args then
+    if List.length ins <> List.length args then begin
       Printf.eprintf "--stats: netlist takes %d input(s), got %d argument(s)\n"
-        (List.length ins) (List.length args)
+        (List.length ins) (List.length args);
+      exit 1
+    end
     else begin
       let inputs =
         List.map2
@@ -177,10 +212,91 @@ let print_sim_stats (design : Design.t) args =
       end
     end
 
+(* Drive the design's netlist view through the event-driven evaluator with
+   an observation probe installed: the VCD behind --vcd-netlist, the
+   hot-node histogram behind --profile and the netlist.* counters of the
+   metrics report all come from this one instrumented run. *)
+let observe_netlist (design : Design.t) args ~vcd_path ~profile ~metrics =
+  match design.Design.netlist () with
+  | None ->
+    if vcd_path <> None then begin
+      Printf.eprintf "--vcd-netlist: this backend has no netlist view\n";
+      exit 1
+    end
+  | Some nl ->
+    let ins = Netlist.inputs nl in
+    if List.length ins <> List.length args then begin
+      Printf.eprintf "netlist takes %d input(s), got %d argument(s)\n"
+        (List.length ins) (List.length args);
+      exit 1
+    end;
+    let inputs =
+      List.map2
+        (fun (name, s) v ->
+          (name, Bitvec.of_int ~width:(Netlist.width nl s) v))
+        ins args
+    in
+    let writer = Option.map (fun _ -> Vcd.create ()) vcd_path in
+    let t = Neteval.create nl in
+    Option.iter
+      (fun w -> Neteval.set_probe t (Trace.neteval_probe w nl))
+      writer;
+    (if List.mem_assoc "done" (Netlist.outputs nl) then begin
+       match
+         Neteval.drive t ~inputs ~done_name:"done" ~max_cycles:2_000_000
+       with
+       | Ok _ -> ()
+       | Error `Timeout -> print_endline "netlist run: timed out"
+     end
+     else Neteval.settle t ~inputs);
+    let st = Neteval.stats t in
+    Metrics.set_int metrics "netlist.nodes" (Netlist.length nl);
+    Metrics.set_int metrics "netlist.cycles" st.Neteval.cycles;
+    Metrics.set_int metrics "netlist.settles" st.Neteval.settles;
+    Metrics.set_int metrics "netlist.nodes_evaluated"
+      st.Neteval.nodes_evaluated;
+    Metrics.set_int metrics "netlist.events" st.Neteval.events;
+    if profile then begin
+      let ranked =
+        List.sort
+          (fun (_, a) (_, b) -> compare (b : int) a)
+          (Array.to_list (Array.mapi (fun s n -> (s, n)) (Neteval.eval_counts t)))
+      in
+      print_endline "profile: hottest netlist nodes (evaluations)";
+      List.iteri
+        (fun i (s, n) ->
+          if i < 10 && n > 0 then Printf.printf "  n%-6d %d\n" s n)
+        ranked
+    end;
+    match (vcd_path, writer) with
+    | Some path, Some w ->
+      Vcd.write_file w path;
+      Printf.printf "wrote %s (%d vars)\n" path (Vcd.num_vars w)
+    | _ -> ()
+
+(* The FSM state visit histogram of the behavioural run; states_visited
+   sums to the cycle count, so the histogram is a complete account of
+   where the cycles went. *)
+let print_state_profile (r : Design.run_result) =
+  match Metrics.find r.Design.metrics "sim.states_visited" with
+  | Some (Metrics.List l) ->
+    let counts =
+      List.mapi
+        (fun i j -> match j with Metrics.Int n -> (i, n) | _ -> (i, 0))
+        l
+    in
+    let total = List.fold_left (fun acc (_, n) -> acc + n) 0 counts in
+    print_endline "profile: FSM state visit counts";
+    List.iter
+      (fun (i, n) -> if n > 0 then Printf.printf "  state %-4d %d\n" i n)
+      (List.sort (fun (_, a) (_, b) -> compare (b : int) a) counts);
+    Printf.printf "  total %d cycles\n" total
+  | _ -> ()
+
 let compile_cmd =
   let doc = "Synthesize the program with a surveyed scheme" in
   let run file entry backend args verilog area stats trace_passes dump_ir
-      verify_passes =
+      verify_passes vcd vcd_netlist profile metrics_json =
     let source = read_file file in
     let program = Chls.parse source in
     (match Dialect.check (Chls.dialect_of backend) program with
@@ -207,6 +323,24 @@ let compile_cmd =
         Printf.eprintf "PASS VERIFICATION FAILED: %s\n" msg;
         exit 2
     in
+    let m = Metrics.create () in
+    Metrics.set_string m "schema" "chls.metrics/1";
+    Metrics.set_string m "design.name" entry;
+    Metrics.set_string m "design.backend" design.Design.backend;
+    List.iter
+      (fun (k, v) -> Metrics.set_string m ("design.stats." ^ k) v)
+      design.Design.stats;
+    (match design.Design.clock_period with
+    | Some p -> Metrics.set_fixed m "design.clock_period" ~decimals:1 p
+    | None -> ());
+    Metrics.set m "passes" (Trace.json_of_pass_trace design.Design.pass_trace);
+    let write_metrics () =
+      match metrics_json with
+      | Some path ->
+        Metrics.write_file m path;
+        Printf.printf "wrote %s\n" path
+      | None -> ()
+    in
     Printf.printf "backend: %s\n" design.Design.backend;
     if trace_passes then begin
       (match Chls.pipeline_of backend with
@@ -227,34 +361,88 @@ let compile_cmd =
     | None -> print_endline "no clock (combinational or asynchronous)");
     (match args with
     | None ->
-      if stats then
-        print_endline "--stats needs a run: pass --args as well"
+      List.iter
+        (fun (flag, present) ->
+          if present then
+            Printf.printf "%s needs a run: pass --args as well\n" flag)
+        [ ("--stats", stats);
+          ("--vcd", vcd <> None);
+          ("--vcd-netlist", vcd_netlist <> None);
+          ("--profile", profile) ]
     | Some args ->
       let args = parse_args_list args in
-      let r = design.Design.run (Design.int_args args) in
-      Printf.printf "%s(%s) = %s%s\n" entry
-        (String.concat "," (List.map string_of_int args))
+      let writer = Option.map (fun _ -> Vcd.create ()) vcd in
+      let finish_vcd () =
+        match (vcd, writer) with
+        | Some path, Some w ->
+          Vcd.write_file w path;
+          Printf.printf "wrote %s (%d vars)\n" path (Vcd.num_vars w)
+        | _ -> ()
+      in
+      (match design.Design.run ?vcd:writer (Design.int_args args) with
+      | exception Rtlsim.Timeout { cycles; state } ->
+        (* a partial outcome, not a bare failure: report how far the run
+           got through the same channels a finished run uses *)
+        Metrics.set_string m "run.outcome" "timeout";
+        Metrics.set_int m "run.cycles" cycles;
+        Metrics.set_int m "run.state" state;
+        finish_vcd ();
+        write_metrics ();
+        Printf.eprintf "timeout after %d cycles (in state %d)\n" cycles state;
+        exit 3
+      | exception Asim.Timeout { tokens_fired; time } ->
+        Metrics.set_string m "run.outcome" "timeout";
+        Metrics.set_int m "run.tokens_fired" tokens_fired;
+        Metrics.set_fixed m "run.time_units" ~decimals:1 time;
+        finish_vcd ();
+        write_metrics ();
+        Printf.eprintf "timeout after %d tokens (at time %.1f)\n" tokens_fired
+          time;
+        exit 3
+      | r ->
+        Metrics.set_string m "run.outcome" "ok";
         (match r.Design.result with
-        | Some v -> string_of_int (Bitvec.to_int v)
-        | None -> "void")
-        (match (r.Design.cycles, r.Design.time_units) with
-        | Some c, _ -> Printf.sprintf " in %d cycles" c
-        | None, Some t -> Printf.sprintf " in %.0f time units" t
-        | None, None -> "");
-      (* always cross-check the oracle *)
-      let expected = Chls.reference source ~entry ~args in
-      let agrees = Option.map Bitvec.to_int r.Design.result = Some expected in
-      if not agrees then begin
-        Printf.eprintf "MISMATCH vs software semantics (expected %d)\n"
-          expected;
-        exit 2
-      end;
-      if stats then begin
-        List.iter
-          (fun (k, v) -> Printf.printf "sim %s: %s\n" k v)
-          r.Design.sim_stats;
-        print_sim_stats design args
-      end);
+        | Some v -> Metrics.set_int m "run.result" (Bitvec.to_int v)
+        | None -> ());
+        (match r.Design.cycles with
+        | Some c -> Metrics.set_int m "run.cycles" c
+        | None -> ());
+        (match r.Design.time_units with
+        | Some t -> Metrics.set_fixed m "run.time_units" ~decimals:1 t
+        | None -> ());
+        Metrics.merge ~into:m ~prefix:"run" r.Design.metrics;
+        finish_vcd ();
+        Printf.printf "%s(%s) = %s%s\n" entry
+          (String.concat "," (List.map string_of_int args))
+          (match r.Design.result with
+          | Some v -> string_of_int (Bitvec.to_int v)
+          | None -> "void")
+          (match (r.Design.cycles, r.Design.time_units) with
+          | Some c, _ -> Printf.sprintf " in %d cycles" c
+          | None, Some t -> Printf.sprintf " in %.0f time units" t
+          | None, None -> "");
+        (* always cross-check the oracle *)
+        let expected = Chls.reference source ~entry ~args in
+        let agrees =
+          Option.map Bitvec.to_int r.Design.result = Some expected
+        in
+        Metrics.set_bool m "run.matches_reference" agrees;
+        if not agrees then begin
+          write_metrics ();
+          Printf.eprintf "MISMATCH vs software semantics (expected %d)\n"
+            expected;
+          exit 2
+        end;
+        if profile then print_state_profile r;
+        if stats then begin
+          List.iter
+            (fun (k, v) -> Printf.printf "sim %s: %s\n" k v)
+            (Metrics.render_flat r.Design.metrics);
+          print_sim_stats design args
+        end);
+      if vcd_netlist <> None || profile then
+        observe_netlist design args ~vcd_path:vcd_netlist ~profile ~metrics:m);
+    write_metrics ();
     if area then begin
       match design.Design.area () with
       | Some a -> Format.printf "%a\n" Area.pp_report a
@@ -274,7 +462,8 @@ let compile_cmd =
   Cmd.v (Cmd.info "compile" ~doc)
     Term.(const run $ file_arg $ entry_arg $ backend_arg $ args_arg
           $ verilog_arg $ area_flag $ stats_flag $ trace_passes_flag
-          $ dump_ir_arg $ verify_passes_flag)
+          $ dump_ir_arg $ verify_passes_flag $ vcd_arg $ vcd_netlist_arg
+          $ profile_flag $ metrics_json_arg)
 
 let analyze_cmd =
   let doc =

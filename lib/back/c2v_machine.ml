@@ -210,14 +210,16 @@ let compile (program : Ast.program) ~entry : Design.t =
     | None -> 0
   in
   let pointer_info = Pointer.analyze program in
-  let run args =
+  let run ?vcd:_ args =
     let outcome = run compiled ~ret_width ~args in
+    let metrics = Metrics.create () in
+    Metrics.set_int metrics "sim.cycles" outcome.cycles;
     { Design.result = outcome.return_value;
       globals = outcome.globals;
       memories = outcome.memories;
       cycles = Some outcome.cycles;
       time_units = None;
-      sim_stats = [] }
+      metrics }
   in
   let code_words = Array.length compiled.C2verilog.code in
   { Design.design_name = entry;

@@ -14,24 +14,39 @@ let dialect = Dialect.cash
    of the raw lowering, where every tiny block is just a cheap merge. *)
 let pipeline = Passes.pipeline "cash"
 
-let compile ?(timing = Asim.default_timing) (program : Ast.program) ~entry :
-    Design.t =
+let compile ?timing ?handshake (program : Ast.program) ~entry : Design.t =
   (match Dialect.check dialect program with
   | [] -> ()
   | { Dialect.rule; where } :: _ ->
     failwith (Printf.sprintf "cash: %s (in %s)" rule where));
   let lowered, pass_trace = Passes.run pipeline program ~entry in
   let ssa = Ssa.of_func lowered.Lower.func in
+  (* SSA renaming grows the register file, and the token simulator
+     executes the SSA: the timing model and the tracer must both see the
+     SSA function's registers and widths *)
+  let func = ssa.Ssa.func in
+  let timing =
+    match timing with
+    | Some t -> t
+    | None -> Asim.default_timing_for ?handshake func
+  in
   let circuit = Dfg.of_ssa ssa in
   let stats = Dfg.stats circuit in
-  let run args =
-    let outcome = Asim.run ~timing ssa ~args in
+  let run ?vcd args =
+    let tracer = Option.map (fun v -> Trace.asim_tracer v func) vcd in
+    let on_fire = Option.map fst tracer in
+    let outcome = Asim.run ~timing ?on_fire ssa ~args in
+    Option.iter (fun (_, finalize) -> finalize ()) tracer;
+    let metrics = Metrics.create () in
+    Metrics.set_int metrics "sim.tokens_fired" outcome.Asim.tokens_fired;
+    Metrics.set_fixed metrics "sim.completion_time" ~decimals:1
+      outcome.Asim.completion_time;
     { Design.result = outcome.Asim.return_value;
       globals = outcome.Asim.globals;
       memories = outcome.Asim.memories;
       cycles = None;
       time_units = Some outcome.Asim.completion_time;
-      sim_stats = [] }
+      metrics }
   in
   { Design.design_name = entry;
     backend = "cash";

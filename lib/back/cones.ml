@@ -417,13 +417,17 @@ let compile (program : Ast.program) ~entry : Design.t =
   let program, pass_trace = Passes.run_program_passes pipeline program ~entry in
   let nl = synthesize program ~entry in
   let report = Area.analyze nl in
-  let run args =
+  let run ?vcd args =
     let inputs =
       List.map2
         (fun (name, _) v -> (name, v))
         (Netlist.inputs nl) args
     in
-    let outputs, st = Neteval.eval_combinational_stats nl ~inputs in
+    let probe = Option.map (fun v -> Trace.neteval_probe v nl) vcd in
+    let outputs, st = Neteval.eval_combinational_stats ?probe nl ~inputs in
+    let metrics = Metrics.create () in
+    Metrics.set_int metrics "sim.nodes_evaluated" st.Neteval.nodes_evaluated;
+    Metrics.set_int metrics "sim.events" st.Neteval.events;
     { Design.result = List.assoc_opt "result" outputs;
       globals =
         List.filter_map
@@ -435,9 +439,7 @@ let compile (program : Ast.program) ~entry : Design.t =
       memories = [];
       cycles = None;
       time_units = Some report.Area.critical_path;
-      sim_stats =
-        [ ("nodes_evaluated", string_of_int st.Neteval.nodes_evaluated);
-          ("events", string_of_int st.Neteval.events) ] }
+      metrics }
   in
   { Design.design_name = entry;
     backend = "cones";

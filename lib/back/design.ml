@@ -13,15 +13,18 @@ type run_result = {
   memories : (string * Bitvec.t array) list;
   cycles : int option; (* clocked designs *)
   time_units : float option; (* asynchronous / combinational settle time *)
-  sim_stats : (string * string) list;
-      (* simulator performance counters for this run, when the backend's
-         behavioural model tracks them (e.g. netlist evaluator activity) *)
+  metrics : Metrics.t;
+      (* simulator performance counters for this run (cycles, state
+         visits, token firings, evaluator activity) in the unified
+         registry; --metrics-json merges it into the run report *)
 }
 
 type t = {
   design_name : string;
   backend : string;
-  run : Bitvec.t list -> run_result;
+  run : ?vcd:Vcd.t -> Bitvec.t list -> run_result;
+      (* [vcd]: trace the behavioural simulation as a waveform; backends
+         whose simulator has no trace hook ignore it *)
   area : unit -> Area.report option;
   verilog : unit -> string option;
   netlist : unit -> Netlist.t option;

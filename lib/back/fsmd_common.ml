@@ -22,14 +22,23 @@ let build ~backend_name ~dialect ?(mem_forwarding = false) ?pipeline
   let fsmd =
     Fsmd.of_func ~mem_forwarding func ~schedule_block:(schedule_block func)
   in
-  let run args =
-    let outcome = Rtlsim.run fsmd ~args in
+  let run ?vcd args =
+    let trace = Option.map (fun v -> Trace.rtlsim_trace v fsmd) vcd in
+    let outcome = Rtlsim.run ?trace fsmd ~args in
+    let metrics = Metrics.create () in
+    Metrics.set_int metrics "sim.cycles" outcome.Rtlsim.cycles;
+    Metrics.set metrics "sim.states_visited"
+      (Metrics.List
+         (Array.to_list
+            (Array.map
+               (fun n -> Metrics.Int n)
+               outcome.Rtlsim.states_visited)));
     { Design.result = outcome.Rtlsim.return_value;
       globals = outcome.Rtlsim.globals;
       memories = outcome.Rtlsim.memories;
       cycles = Some outcome.Rtlsim.cycles;
       time_units = None;
-      sim_stats = [] }
+      metrics }
   in
   let elaborated = lazy (Rtlgen.elaborate fsmd) in
   let area () =

@@ -592,7 +592,7 @@ let compile_with_policy ~backend_name ~dialect ~policy
       (Passes.pipeline backend_name ~program_passes ~lowers:false)
       program ~entry
   in
-  let run args =
+  let run ?vcd:_ args =
     let outcome = run ~policy program ~entry ~args in
     let globals =
       List.filter_map
@@ -620,12 +620,14 @@ let compile_with_policy ~backend_name ~dialect ~policy
           | Ctypes.Function _ -> None)
         program.Ast.globals
     in
+    let metrics = Metrics.create () in
+    Metrics.set_int metrics "sim.cycles" outcome.cycles;
     { Design.result = outcome.return_value;
       globals;
       memories;
       cycles = Some outcome.cycles;
       time_units = None;
-      sim_stats = [] }
+      metrics }
   in
   (* Structural views for the sequential subset: an FSMD cut at assignment
      boundaries elaborates to a netlist for area/Verilog.  Concurrent

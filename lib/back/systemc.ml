@@ -225,17 +225,19 @@ let compile ?(resources = Schedule.default_allocation)
     Fsmd.of_func func ~schedule_block:(fun blk ->
         Schedule.list_schedule func resources blk.Cir.instrs)
   in
-  let run args =
+  let run ?vcd:_ args =
     let kernel, done_sig, result = of_fsmd fsmd ~args in
     match run_until kernel ~stop:done_sig ~max_cycles:2_000_000 with
     | Error `Timeout -> failwith "systemc: timeout"
     | Ok cycles ->
+      let metrics = Metrics.create () in
+      Metrics.set_int metrics "sim.cycles" cycles;
       { Design.result = Some (read result);
         globals = [];
         memories = [];
         cycles = Some cycles;
         time_units = None;
-        sim_stats = [] }
+        metrics }
   in
   { Design.design_name = entry;
     backend = "systemc";

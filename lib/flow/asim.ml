@@ -21,24 +21,24 @@ type timing = {
 }
 
 (* Latency in time units ~ gate delays, consistent with Area's delay model
-   so sync and async compare on the same scale. *)
-let default_timing =
+   so sync and async compare on the same scale.  Operator latency depends
+   on the operand width, which for register operands comes from the
+   function's declared register widths — a 9-bit adder must not be charged
+   a 32-bit ripple delay or E6's async-vs-sync comparison is skewed for
+   narrow datapaths. *)
+let default_timing_for ?(handshake = 2.) (func : Cir.func) =
   { latency =
       (fun instr ->
         match instr with
         | Cir.I_bin { op; a; _ } ->
-          let w =
-            match a with
-            | Cir.O_reg _ -> 32
-            | Cir.O_imm bv -> Bitvec.width bv
-          in
-          (Area.binop_cost op w).Area.delay
-        | Cir.I_un { op; _ } -> (Area.unop_cost op 32).Area.delay
+          (Area.binop_cost op (Cir.operand_width func a)).Area.delay
+        | Cir.I_un { op; a; _ } ->
+          (Area.unop_cost op (Cir.operand_width func a)).Area.delay
         | Cir.I_mux _ -> 2.
         | Cir.I_mov _ | Cir.I_cast _ -> 0.
         | Cir.I_load _ -> 6.
         | Cir.I_store _ -> 3.);
-    handshake = 2. }
+    handshake }
 
 type outcome = {
   return_value : Bitvec.t option;
@@ -48,12 +48,15 @@ type outcome = {
   memories : (string * Bitvec.t array) list;
 }
 
-exception Timeout
+exception Timeout of { tokens_fired : int; time : float }
 
 (** Execute the dataflow circuit of [ssa] with timed tokens. *)
-let run ?(timing = default_timing) ?(max_tokens = 10_000_000) (ssa : Ssa.t)
+let run ?timing ?(max_tokens = 10_000_000) ?on_fire (ssa : Ssa.t)
     ~args : outcome =
   let func = ssa.Ssa.func in
+  let timing =
+    match timing with Some t -> t | None -> default_timing_for func
+  in
   let regs =
     Array.init func.Cir.fn_reg_count (fun r ->
         Bitvec.zero (max 1 func.Cir.fn_reg_widths.(r)))
@@ -83,9 +86,20 @@ let run ?(timing = default_timing) ?(max_tokens = 10_000_000) (ssa : Ssa.t)
     | Cir.O_reg r -> reg_time.(r)
   in
   let fired = ref 0 in
+  let now = ref 0. in
   let fire () =
     incr fired;
-    if !fired > max_tokens then raise Timeout
+    if !fired > max_tokens then
+      raise (Timeout { tokens_fired = !fired - 1; time = !now })
+  in
+  (* Observation only: report a token's (completion time, register, value)
+     after it is committed.  Firing order follows execution, not time —
+     Obs.Trace sorts by timestamp before writing a waveform. *)
+  let observe t dst v =
+    if t > !now then now := t;
+    match on_fire with
+    | None -> ()
+    | Some f -> f ~time:t ~reg:(dst : Cir.reg) ~value:(v : Bitvec.t)
   in
   let rec run_block ~came_from ~control b =
     (* phis: merge (mu) nodes fire at max(value token, control token) *)
@@ -103,7 +117,8 @@ let run ?(timing = default_timing) ?(max_tokens = 10_000_000) (ssa : Ssa.t)
       (fun (dst, v, t) ->
         fire ();
         regs.(dst) <- v;
-        reg_time.(dst) <- t)
+        reg_time.(dst) <- t;
+        observe t dst v)
       phi_updates;
     let blk = Cir.block func b in
     List.iter
@@ -118,22 +133,27 @@ let run ?(timing = default_timing) ?(max_tokens = 10_000_000) (ssa : Ssa.t)
         match instr with
         | Cir.I_bin { op; dst; a; b } ->
           regs.(dst) <- Neteval.apply_binop op (value a) (value b);
-          reg_time.(dst) <- finish
+          reg_time.(dst) <- finish;
+          observe finish dst regs.(dst)
         | Cir.I_un { op; dst; a } ->
           regs.(dst) <- Neteval.apply_unop op (value a);
-          reg_time.(dst) <- finish
+          reg_time.(dst) <- finish;
+          observe finish dst regs.(dst)
         | Cir.I_mov { dst; src } ->
           regs.(dst) <- value src;
-          reg_time.(dst) <- finish
+          reg_time.(dst) <- finish;
+          observe finish dst regs.(dst)
         | Cir.I_cast { dst; signed; src } ->
           regs.(dst) <-
             Bitvec.resize ~signed ~width:(Cir.reg_width func dst) (value src);
-          reg_time.(dst) <- finish
+          reg_time.(dst) <- finish;
+          observe finish dst regs.(dst)
         | Cir.I_mux { dst; sel; if_true; if_false } ->
           regs.(dst) <-
             (if Bitvec.to_bool (value sel) then value if_true
              else value if_false);
-          reg_time.(dst) <- finish
+          reg_time.(dst) <- finish;
+          observe finish dst regs.(dst)
         | Cir.I_load { dst; region; addr } ->
           let start = Float.max input_time mem_store_time.(region) in
           let finish = start +. timing.latency instr +. timing.handshake in
@@ -143,7 +163,8 @@ let run ?(timing = default_timing) ?(max_tokens = 10_000_000) (ssa : Ssa.t)
             (if a < Array.length mem then mem.(a)
              else Bitvec.zero (Cir.reg_width func dst));
           reg_time.(dst) <- finish;
-          mem_load_time.(region) <- Float.max mem_load_time.(region) finish
+          mem_load_time.(region) <- Float.max mem_load_time.(region) finish;
+          observe finish dst regs.(dst)
         | Cir.I_store { region; addr; value = v } ->
           let start =
             Float.max input_time
@@ -153,7 +174,8 @@ let run ?(timing = default_timing) ?(max_tokens = 10_000_000) (ssa : Ssa.t)
           let mem = memories.(region) in
           let a = Bitvec.to_int_unsigned (value addr) in
           if a < Array.length mem then mem.(a) <- value v;
-          mem_store_time.(region) <- finish)
+          mem_store_time.(region) <- finish;
+          if finish > !now then now := finish)
       blk.Cir.instrs;
     match blk.Cir.term with
     | Cir.T_jump next -> run_block ~came_from:b ~control next

@@ -10,9 +10,11 @@ type timing = {
   handshake : float;  (** per-token request/acknowledge overhead *)
 }
 
-val default_timing : timing
+val default_timing_for : ?handshake:float -> Cir.func -> timing
 (** Latencies consistent with the Area delay model (so synchronous and
-    asynchronous designs compare on one scale); handshake 2.0. *)
+    asynchronous designs compare on one scale), using each operand's
+    declared register width — a narrow adder is charged a narrow ripple
+    delay.  Default handshake 2.0. *)
 
 type outcome = {
   return_value : Bitvec.t option;
@@ -22,6 +24,17 @@ type outcome = {
   memories : (string * Bitvec.t array) list;
 }
 
-exception Timeout
+exception Timeout of { tokens_fired : int; time : float }
+(** Raised past [max_tokens], carrying how many tokens had fired and the
+    latest completion time reached, so callers can report a partial
+    outcome instead of a bare failure. *)
 
-val run : ?timing:timing -> ?max_tokens:int -> Ssa.t -> args:Bitvec.t list -> outcome
+val run :
+  ?timing:timing ->
+  ?max_tokens:int ->
+  ?on_fire:(time:float -> reg:Cir.reg -> value:Bitvec.t -> unit) ->
+  Ssa.t -> args:Bitvec.t list -> outcome
+(** [on_fire] observes each committed token (completion time, defined
+    register, value).  Tokens are reported in execution order, not time
+    order — Obs.Trace buffers and sorts before writing a waveform.  The
+    hook observes only; it cannot perturb the run. *)

@@ -28,6 +28,8 @@
 
 type strategy = Full_sweep | Event_driven
 
+type probe = { on_value : cycle:int -> Netlist.signal -> Bitvec.t -> unit }
+
 type stats = {
   mutable cycles : int; (* clock edges ([tick]s) taken *)
   mutable settles : int; (* settle passes (full or incremental) *)
@@ -99,6 +101,8 @@ type t = {
   mutable primed : bool; (* first full sweep done *)
   mutable cycle : int;
   stats : stats;
+  eval_counts : int array; (* per-signal evaluation count (profiling) *)
+  mutable probe : probe option; (* observation hook: fired on value commits *)
 }
 
 let create ?(strategy = Event_driven) netlist =
@@ -144,7 +148,17 @@ let create ?(strategy = Event_driven) netlist =
     cycle = 0;
     stats =
       { cycles = 0; settles = 0; nodes_evaluated = 0; events = 0;
-        wall_time = 0. } }
+        wall_time = 0. };
+    eval_counts = Array.make (max n 1) 0;
+    probe = None }
+
+let set_probe t probe = t.probe <- Some probe
+
+(* Observation only: fired after a value commit, never able to change it. *)
+let notify t s v =
+  match t.probe with
+  | None -> ()
+  | Some p -> p.on_value ~cycle:t.cycle s v
 
 let apply_unop op a =
   match (op : Netlist.unop) with
@@ -223,9 +237,11 @@ let full_sweep t =
   let n = Netlist.length t.netlist in
   for s = 0 to n - 1 do
     let v = eval_node t s in
+    t.eval_counts.(s) <- t.eval_counts.(s) + 1;
     if not (Bitvec.equal v t.values.(s)) then begin
       t.values.(s) <- v;
-      t.stats.events <- t.stats.events + 1
+      t.stats.events <- t.stats.events + 1;
+      notify t s v
     end
   done;
   t.stats.nodes_evaluated <- t.stats.nodes_evaluated + n;
@@ -239,9 +255,11 @@ let drain_events t =
     t.dirty.(s) <- false;
     let v = eval_node t s in
     t.stats.nodes_evaluated <- t.stats.nodes_evaluated + 1;
+    t.eval_counts.(s) <- t.eval_counts.(s) + 1;
     if not (Bitvec.equal v t.values.(s)) then begin
       t.values.(s) <- v;
       t.stats.events <- t.stats.events + 1;
+      notify t s v;
       Array.iter (fun u -> mark_dirty t u) t.fanouts.(s)
     end
   done
@@ -274,6 +292,8 @@ let output_signal t name =
 let output t name = value t (output_signal t name)
 let cycle t = t.cycle
 let stats t = t.stats
+let netlist t = t.netlist
+let eval_counts t = Array.copy t.eval_counts
 
 (** Advance state: clock edge after a [settle].  Register and memory
     updates that change stored state mark their users dirty so the next
@@ -324,8 +344,9 @@ let tick t =
 
 (** Evaluate a purely combinational netlist once; also returns the
     evaluator counters for that settle. *)
-let eval_combinational_stats netlist ~inputs =
+let eval_combinational_stats ?probe netlist ~inputs =
   let t = create netlist in
+  Option.iter (set_probe t) probe;
   settle t ~inputs;
   ( List.map (fun (name, s) -> (name, t.values.(s))) (Netlist.outputs netlist),
     t.stats )
@@ -333,12 +354,13 @@ let eval_combinational_stats netlist ~inputs =
 let eval_combinational netlist ~inputs =
   fst (eval_combinational_stats netlist ~inputs)
 
-(** Run a sequential netlist until the 1-bit output [done_name] is set or
-    [max_cycles] elapse; returns outputs, the cycle count and the counters.
-    The [done] output and the primary inputs are resolved to signal ids
-    once, before the polling loop. *)
-let run_until_done_stats ?strategy netlist ~inputs ~done_name ~max_cycles =
-  let t = create ?strategy netlist in
+(** Clock an existing evaluator until the 1-bit output [done_name] is set
+    or [max_cycles] elapse; returns outputs and the cycle count.  The
+    [done] output and the primary inputs are resolved to signal ids once,
+    before the polling loop.  Exposed separately from [run_until_done] so
+    callers that need the evaluator afterwards (probes, per-node
+    evaluation counts) can create and keep their own instance. *)
+let drive t ~inputs ~done_name ~max_cycles =
   let done_sig = output_signal t done_name in
   set_inputs t inputs;
   let t0 = Sys.time () in
@@ -346,7 +368,9 @@ let run_until_done_stats ?strategy netlist ~inputs ~done_name ~max_cycles =
     settle_resolved t;
     if Bitvec.to_bool t.values.(done_sig) then
       Ok
-        ( List.map (fun (n, s) -> (n, t.values.(s))) (Netlist.outputs netlist),
+        ( List.map
+            (fun (n, s) -> (n, t.values.(s)))
+            (Netlist.outputs t.netlist),
           t.cycle )
     else if t.cycle >= max_cycles then Error `Timeout
     else begin
@@ -356,7 +380,16 @@ let run_until_done_stats ?strategy netlist ~inputs ~done_name ~max_cycles =
   in
   let r = go () in
   t.stats.wall_time <- t.stats.wall_time +. (Sys.time () -. t0);
-  match r with
+  r
+
+(** Run a sequential netlist until the 1-bit output [done_name] is set or
+    [max_cycles] elapse; returns outputs, the cycle count and the
+    counters. *)
+let run_until_done_stats ?strategy ?probe netlist ~inputs ~done_name
+    ~max_cycles =
+  let t = create ?strategy netlist in
+  Option.iter (set_probe t) probe;
+  match drive t ~inputs ~done_name ~max_cycles with
   | Ok (outputs, cycles) -> Ok (outputs, cycles, t.stats)
   | Error `Timeout -> Error `Timeout
 

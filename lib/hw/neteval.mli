@@ -13,6 +13,14 @@ type strategy =
   | Full_sweep  (** re-evaluate every node on every settle (the oracle) *)
   | Event_driven  (** re-evaluate only nodes whose inputs changed *)
 
+type probe = { on_value : cycle:int -> Netlist.signal -> Bitvec.t -> unit }
+(** Observation hook, fired whenever a signal's settled value actually
+    changes (the event worklist is exactly the VCD change list, so
+    waveform tracing is near-free).  Probes observe only: they receive
+    values after they are committed and cannot perturb the simulation —
+    outcomes with a probe installed are bit-identical to outcomes
+    without (tested by qcheck in test/test_obs.ml). *)
+
 type stats = {
   mutable cycles : int;  (** clock edges ([tick]s) taken *)
   mutable settles : int;  (** settle passes (full or incremental) *)
@@ -25,6 +33,15 @@ type t
 
 val create : ?strategy:strategy -> Netlist.t -> t
 (** Default strategy is [Event_driven]. *)
+
+val set_probe : t -> probe -> unit
+(** Install an observation hook on this evaluator instance. *)
+
+val netlist : t -> Netlist.t
+
+val eval_counts : t -> int array
+(** Per-signal evaluation counts (a copy): the hot-node histogram behind
+    [chlsc compile --profile]. *)
 
 val apply_unop : Netlist.unop -> Bitvec.t -> Bitvec.t
 val apply_binop : Netlist.binop -> Bitvec.t -> Bitvec.t -> Bitvec.t
@@ -59,9 +76,16 @@ val eval_combinational :
 (** Evaluate a purely combinational netlist once; returns the outputs. *)
 
 val eval_combinational_stats :
-  Netlist.t -> inputs:(string * Bitvec.t) list ->
+  ?probe:probe -> Netlist.t -> inputs:(string * Bitvec.t) list ->
   (string * Bitvec.t) list * stats
 (** Like [eval_combinational] but also returns the evaluator counters. *)
+
+val drive :
+  t -> inputs:(string * Bitvec.t) list -> done_name:string ->
+  max_cycles:int -> ((string * Bitvec.t) list * int, [ `Timeout ]) result
+(** Clock an existing evaluator until the 1-bit output [done_name] is
+    set; for callers that need the evaluator afterwards (probes,
+    [eval_counts]).  [run_until_done] is this plus [create]. *)
 
 val run_until_done :
   ?strategy:strategy ->
@@ -73,8 +97,9 @@ val run_until_done :
     primary inputs are resolved to signal ids once, before the loop. *)
 
 val run_until_done_stats :
-  ?strategy:strategy ->
+  ?strategy:strategy -> ?probe:probe ->
   Netlist.t -> inputs:(string * Bitvec.t) list -> done_name:string ->
   max_cycles:int ->
   ((string * Bitvec.t) list * int * stats, [ `Timeout ]) result
-(** Like [run_until_done] but also returns the evaluator counters. *)
+(** Like [run_until_done] but also returns the evaluator counters and
+    accepts an observation probe. *)

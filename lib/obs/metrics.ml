@@ -1,0 +1,207 @@
+(* Obs.Metrics: the unified metrics registry.
+
+   A registry is an insertion-ordered list of (name, json) entries.  The
+   rendering is deliberately hand-rolled (no yojson in the container) and
+   byte-stable: keys keep insertion order and floats that must reproduce
+   exactly carry their own precision (Fixed).  Dotted names fold into
+   nested objects at render time, so producers can write "sim.cycles"
+   without coordinating on a tree structure. *)
+
+type json =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Fixed of int * float
+  | String of string
+  | List of json list
+  | Obj of (string * json) list
+
+(* --- rendering --- *)
+
+let escape_string s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let scalar_to_string = function
+  | Null -> "null"
+  | Bool b -> if b then "true" else "false"
+  | Int n -> string_of_int n
+  | Float f ->
+    if Float.is_integer f && Float.abs f < 1e15 then
+      Printf.sprintf "%.1f" f
+    else Printf.sprintf "%.6g" f
+  | Fixed (d, f) -> Printf.sprintf "%.*f" d f
+  | String s -> Printf.sprintf "\"%s\"" (escape_string s)
+  | List _ | Obj _ -> invalid_arg "Metrics.scalar_to_string"
+
+let is_scalar = function
+  | Null | Bool _ | Int _ | Float _ | Fixed _ | String _ -> true
+  | List _ | Obj _ -> false
+
+let render j =
+  let buf = Buffer.create 256 in
+  let pad n = Buffer.add_string buf (String.make n ' ') in
+  let rec go indent j =
+    match j with
+    | Null | Bool _ | Int _ | Float _ | Fixed _ | String _ ->
+      Buffer.add_string buf (scalar_to_string j)
+    | List [] -> Buffer.add_string buf "[]"
+    | List items when List.for_all is_scalar items ->
+      (* lists of scalars stay inline: "args": [54, 24] *)
+      Buffer.add_char buf '[';
+      List.iteri
+        (fun i item ->
+          if i > 0 then Buffer.add_string buf ", ";
+          Buffer.add_string buf (scalar_to_string item))
+        items;
+      Buffer.add_char buf ']'
+    | List items ->
+      Buffer.add_string buf "[\n";
+      List.iteri
+        (fun i item ->
+          if i > 0 then Buffer.add_string buf ",\n";
+          pad (indent + 2);
+          go (indent + 2) item)
+        items;
+      Buffer.add_char buf '\n';
+      pad indent;
+      Buffer.add_char buf ']'
+    | Obj [] -> Buffer.add_string buf "{}"
+    | Obj members ->
+      Buffer.add_string buf "{\n";
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_string buf ",\n";
+          pad (indent + 2);
+          Buffer.add_string buf (Printf.sprintf "\"%s\": " (escape_string k));
+          go (indent + 2) v)
+        members;
+      Buffer.add_char buf '\n';
+      pad indent;
+      Buffer.add_char buf '}'
+  in
+  go 0 j;
+  Buffer.contents buf
+
+let render_compact j =
+  let buf = Buffer.create 64 in
+  let rec go j =
+    match j with
+    | Null | Bool _ | Int _ | Float _ | Fixed _ | String _ ->
+      Buffer.add_string buf (scalar_to_string j)
+    | List items ->
+      Buffer.add_char buf '[';
+      List.iteri
+        (fun i item ->
+          if i > 0 then Buffer.add_string buf ", ";
+          go item)
+        items;
+      Buffer.add_char buf ']'
+    | Obj members ->
+      Buffer.add_char buf '{';
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_string buf ", ";
+          Buffer.add_string buf (Printf.sprintf "\"%s\": " (escape_string k));
+          go v)
+        members;
+      Buffer.add_char buf '}'
+  in
+  go j;
+  Buffer.contents buf
+
+(* --- the registry --- *)
+
+type t = { mutable entries : (string * json) list (* reversed *) }
+
+let create () = { entries = [] }
+
+let set t name v =
+  if List.mem_assoc name t.entries then
+    t.entries <-
+      List.map (fun (k, old) -> (k, if k = name then v else old)) t.entries
+  else t.entries <- (name, v) :: t.entries
+
+let find t name = List.assoc_opt name t.entries
+let set_int t name n = set t name (Int n)
+let set_bool t name b = set t name (Bool b)
+let set_string t name s = set t name (String s)
+let set_fixed t name ~decimals f = set t name (Fixed (decimals, f))
+
+let incr t ?(by = 1) name =
+  match find t name with
+  | Some (Int n) -> set t name (Int (n + by))
+  | Some _ -> invalid_arg (Printf.sprintf "Metrics.incr: %S is not an Int" name)
+  | None -> set t name (Int by)
+
+let add_ms t name ms =
+  match find t name with
+  | Some (Fixed (d, prev)) -> set t name (Fixed (d, prev +. ms))
+  | Some _ ->
+    invalid_arg (Printf.sprintf "Metrics.add_ms: %S is not a timer" name)
+  | None -> set t name (Fixed (3, ms))
+
+let pairs t = List.rev t.entries
+
+let merge ~into ?prefix src =
+  let rename k =
+    match prefix with None -> k | Some p -> p ^ "." ^ k
+  in
+  List.iter (fun (k, v) -> set into (rename k) v) (pairs src)
+
+(* Fold dotted names into nested objects, preserving first-appearance
+   order at every level.  A name that is both a leaf and a group prefix
+   keeps the group (the leaf is dropped) — producers should not mix the
+   two under one name. *)
+let to_json t =
+  let rec nest (entries : (string list * json) list) : json =
+    let order = ref [] in
+    let groups = Hashtbl.create 8 in
+    List.iter
+      (fun (path, v) ->
+        match path with
+        | [] -> ()
+        | key :: rest ->
+          if not (Hashtbl.mem groups key) then order := key :: !order;
+          let prev = try Hashtbl.find groups key with Not_found -> [] in
+          Hashtbl.replace groups key ((rest, v) :: prev))
+      entries;
+    Obj
+      (List.rev_map
+         (fun key ->
+           let sub = List.rev (Hashtbl.find groups key) in
+           match sub with
+           | [ ([], v) ] -> (key, v)
+           | sub -> (key, nest (List.filter (fun (p, _) -> p <> []) sub)))
+         !order)
+  in
+  nest
+    (List.map (fun (k, v) -> (String.split_on_char '.' k, v)) (pairs t))
+
+let render_flat t =
+  List.map
+    (fun (k, v) ->
+      ( k,
+        match v with
+        | String s -> s
+        | Null | Bool _ | Int _ | Float _ | Fixed _ -> scalar_to_string v
+        | List _ | Obj _ -> render_compact v ))
+    (pairs t)
+
+let write_file t path =
+  Out_channel.with_open_text path (fun oc ->
+      output_string oc (render (to_json t));
+      output_char oc '\n')

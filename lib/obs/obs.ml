@@ -1,0 +1,9 @@
+(* Obs: the observability subsystem, as one namespace.
+
+   The libraries are unwrapped, so Vcd/Metrics/Trace are reachable
+   directly; this aggregator exists so client code can say Obs.Vcd and
+   Obs.Metrics, matching how the subsystem is documented. *)
+
+module Vcd = Vcd
+module Metrics = Metrics
+module Trace = Trace

@@ -1,0 +1,136 @@
+(* Adapters from simulator observation hooks to VCD waveforms.
+
+   The simulators live below this library, so they expose generic hooks
+   (Neteval.probe, Rtlsim.trace, Asim's on_fire) and know nothing about
+   VCD; the naming, scoping and time bookkeeping all happen here. *)
+
+let bits_for n =
+  (* bits needed to represent values 0 .. n-1 (at least 1) *)
+  let rec go acc v = if v <= 0 then max 1 acc else go (acc + 1) (v lsr 1) in
+  go 0 (n - 1)
+
+(* Register names: parameter and global names where the function declares
+   them, rN otherwise.  Shared by the FSMD and dataflow tracers so the
+   same design traces under the same signal names in both. *)
+let reg_names (func : Cir.func) =
+  let names =
+    Array.init func.Cir.fn_reg_count (fun r -> Printf.sprintf "r%d" r)
+  in
+  List.iter (fun (n, r) -> names.(r) <- n) func.Cir.fn_params;
+  List.iter (fun (n, r, _) -> names.(r) <- n) func.Cir.fn_globals;
+  names
+
+let neteval_probe vcd (nl : Netlist.t) : Neteval.probe =
+  let scope = Netlist.name nl in
+  let vars =
+    Array.init (Netlist.length nl) (fun s ->
+        let name =
+          match Netlist.node nl s with
+          | Netlist.Input n -> n
+          | Netlist.Reg _ -> Printf.sprintf "r%d" s
+          | _ -> Printf.sprintf "n%d" s
+        in
+        Vcd.add_var vcd ~scope ~name ~width:(Netlist.width nl s))
+  in
+  List.iter
+    (fun (name, s) -> Vcd.alias vcd ~scope ~name vars.(s))
+    (Netlist.outputs nl);
+  Vcd.enddefinitions vcd;
+  { Neteval.on_value =
+      (fun ~cycle s v -> Vcd.change vcd ~time:cycle vars.(s) v) }
+
+let rtlsim_trace vcd (fsmd : Fsmd.t) : Rtlsim.trace =
+  let func = fsmd.Fsmd.func in
+  let scope = fsmd.Fsmd.fd_name in
+  let state_width = bits_for (Fsmd.num_states fsmd) in
+  let state_var = Vcd.add_var vcd ~scope ~name:"state" ~width:state_width in
+  let names = reg_names func in
+  let reg_vars =
+    Array.init func.Cir.fn_reg_count (fun r ->
+        Vcd.add_var vcd ~scope ~name:names.(r)
+          ~width:(max 1 func.Cir.fn_reg_widths.(r)))
+  in
+  let mem_vars =
+    Array.map
+      (fun (rg : Cir.region) ->
+        let v n w =
+          Vcd.add_var vcd ~scope
+            ~name:(Printf.sprintf "%s_%s" rg.Cir.rg_name n)
+            ~width:w
+        in
+        ( v "we" 1,
+          v "waddr" (bits_for rg.Cir.rg_words),
+          v "wdata" rg.Cir.rg_width,
+          bits_for rg.Cir.rg_words ))
+      func.Cir.fn_regions
+  in
+  Vcd.enddefinitions vcd;
+  { Rtlsim.on_cycle =
+      (fun ~cycle ~state ~regs ~stores ->
+        Vcd.change vcd ~time:cycle state_var
+          (Bitvec.of_int ~width:state_width state);
+        Array.iteri
+          (fun r var -> Vcd.change vcd ~time:cycle var regs.(r))
+          reg_vars;
+        let wrote = Array.make (Array.length mem_vars) false in
+        List.iter
+          (fun (region, addr, v) ->
+            let we, waddr, wdata, aw = mem_vars.(region) in
+            wrote.(region) <- true;
+            Vcd.change vcd ~time:cycle we (Bitvec.one 1);
+            Vcd.change vcd ~time:cycle waddr (Bitvec.of_int ~width:aw addr);
+            Vcd.change vcd ~time:cycle wdata v)
+          stores;
+        Array.iteri
+          (fun i (we, _, _, _) ->
+            if not wrote.(i) then
+              Vcd.change vcd ~time:cycle we (Bitvec.zero 1))
+          mem_vars) }
+
+let asim_tracer ?(scale = 10.) vcd (func : Cir.func) =
+  let scope = func.Cir.fn_name in
+  let names = reg_names func in
+  let vars =
+    Array.init func.Cir.fn_reg_count (fun r ->
+        Vcd.add_var vcd ~scope ~name:names.(r)
+          ~width:(max 1 func.Cir.fn_reg_widths.(r)))
+  in
+  Vcd.enddefinitions vcd;
+  let events = ref [] in
+  let on_fire ~time ~reg ~value = events := (time, reg, value) :: !events in
+  let finalize () =
+    let arr = Array.of_list (List.rev !events) in
+    (* stable: simultaneous firings keep execution order *)
+    Array.stable_sort
+      (fun (t1, _, _) (t2, _, _) -> Float.compare t1 t2)
+      arr;
+    Array.iter
+      (fun (t, r, v) ->
+        let tick = int_of_float (Float.round (t *. scale)) in
+        Vcd.change vcd ~time:(max tick (Vcd.current_time vcd)) vars.(r) v)
+      arr
+  in
+  (on_fire, finalize)
+
+let json_of_pass_trace (trace : Passes.trace) : Metrics.json =
+  let size (s : Passes.size) =
+    Metrics.Obj
+      [ ("blocks", Metrics.Int s.Passes.blocks);
+        ("instrs", Metrics.Int s.Passes.instrs);
+        ("regs", Metrics.Int s.Passes.regs) ]
+  in
+  Metrics.List
+    (List.map
+       (fun (r : Passes.record) ->
+         Metrics.Obj
+           [ ("name", Metrics.String r.Passes.pass_name);
+             ( "level",
+               Metrics.String
+                 (match r.Passes.level with
+                 | Passes.Source -> "source"
+                 | Passes.Ir -> "ir") );
+             ("wall_ms", Metrics.Fixed (3, r.Passes.wall_ms));
+             ("before", size r.Passes.before);
+             ("after", size r.Passes.after);
+             ("verified", Metrics.Int r.Passes.verified) ])
+       trace)

@@ -1,0 +1,164 @@
+(* Obs.Vcd: IEEE-1364 Value Change Dump writer.
+
+   Identifier codes are printable ASCII (33..126) in a base-94 counter,
+   exactly as commercial simulators assign them.  Declarations are
+   buffered until $enddefinitions so variables can arrive in any order
+   and still be grouped by scope; change records stream straight into
+   the buffer with writer-side deduplication (a VCD records changes, so
+   hooks may report every observation and let the writer filter). *)
+
+type var = int (* index into vars/last_value *)
+
+type decl = {
+  d_scope : string option;
+  d_name : string;
+  d_width : int;
+  d_code : string;
+}
+
+type t = {
+  date : string;
+  version : string;
+  timescale : string;
+  mutable decls : decl list; (* reversed; aliases included *)
+  mutable widths : int list; (* reversed, one per distinct var *)
+  mutable nvars : int;
+  mutable defs_done : bool;
+  mutable last_value : Bitvec.t option array;
+  mutable time : int;
+  buf : Buffer.t;
+}
+
+let create ?(date = "(run)") ?(version = "chls Obs.Vcd") ?(timescale = "1ns")
+    () =
+  { date;
+    version;
+    timescale;
+    decls = [];
+    widths = [];
+    nvars = 0;
+    defs_done = false;
+    last_value = [||];
+    time = -1;
+    buf = Buffer.create 4096 }
+
+(* base-94 identifier code over the printable characters '!'..'~' *)
+let code_of_int n =
+  let rec go n acc =
+    let acc = String.make 1 (Char.chr (33 + (n mod 94))) ^ acc in
+    if n < 94 then acc else go ((n / 94) - 1) acc
+  in
+  go n ""
+
+let add_var ?scope t ~name ~width =
+  if t.defs_done then
+    invalid_arg "Vcd.add_var: declarations are closed ($enddefinitions)";
+  if width < 1 then invalid_arg "Vcd.add_var: width must be positive";
+  let v = t.nvars in
+  t.nvars <- v + 1;
+  t.decls <-
+    { d_scope = scope; d_name = name; d_width = width; d_code = code_of_int v }
+    :: t.decls;
+  t.widths <- width :: t.widths;
+  v
+
+let alias t ?scope ~name var =
+  if t.defs_done then
+    invalid_arg "Vcd.alias: declarations are closed ($enddefinitions)";
+  let existing =
+    List.find (fun d -> d.d_code = code_of_int var) t.decls
+  in
+  t.decls <-
+    { d_scope = scope; d_name = name; d_width = existing.d_width;
+      d_code = existing.d_code }
+    :: t.decls
+
+let num_vars t = t.nvars
+
+(* Sanitize a name into a VCD identifier (no whitespace). *)
+let clean_name name =
+  String.map (fun c -> if c = ' ' || c = '\t' then '_' else c) name
+
+let enddefinitions t =
+  if not t.defs_done then begin
+    t.defs_done <- true;
+    let b = t.buf in
+    Printf.bprintf b "$date %s $end\n" t.date;
+    Printf.bprintf b "$version %s $end\n" t.version;
+    Printf.bprintf b "$timescale %s $end\n" t.timescale;
+    let decls = List.rev t.decls in
+    let scopes =
+      List.fold_left
+        (fun acc d -> if List.mem d.d_scope acc then acc else d.d_scope :: acc)
+        [] decls
+      |> List.rev
+    in
+    List.iter
+      (fun scope ->
+        (match scope with
+        | Some s -> Printf.bprintf b "$scope module %s $end\n" (clean_name s)
+        | None -> ());
+        List.iter
+          (fun d ->
+            if d.d_scope = scope then
+              if d.d_width = 1 then
+                Printf.bprintf b "$var wire 1 %s %s $end\n" d.d_code
+                  (clean_name d.d_name)
+              else
+                Printf.bprintf b "$var wire %d %s %s [%d:0] $end\n" d.d_width
+                  d.d_code (clean_name d.d_name) (d.d_width - 1))
+          decls;
+        match scope with
+        | Some _ -> Buffer.add_string b "$upscope $end\n"
+        | None -> ())
+      scopes;
+    Buffer.add_string b "$enddefinitions $end\n";
+    (* initial snapshot: everything unknown until the first change *)
+    Buffer.add_string b "$dumpvars\n";
+    let widths = Array.of_list (List.rev t.widths) in
+    Array.iteri
+      (fun v w ->
+        if w = 1 then Printf.bprintf b "x%s\n" (code_of_int v)
+        else Printf.bprintf b "bx %s\n" (code_of_int v))
+      widths;
+    Buffer.add_string b "$end\n";
+    t.last_value <- Array.make (max 1 t.nvars) None
+  end
+
+let bits_of bv =
+  let w = Bitvec.width bv in
+  String.init w (fun i -> if Bitvec.bit (w - 1 - i) bv then '1' else '0')
+
+let change t ~time var value =
+  if not t.defs_done then enddefinitions t;
+  if var < 0 || var >= t.nvars then invalid_arg "Vcd.change: unknown var";
+  if time < t.time then
+    invalid_arg
+      (Printf.sprintf "Vcd.change: time %d is before current time %d" time
+         t.time);
+  let same =
+    match t.last_value.(var) with
+    | Some prev -> Bitvec.equal prev value
+    | None -> false
+  in
+  if not same then begin
+    if time > t.time then begin
+      Printf.bprintf t.buf "#%d\n" time;
+      t.time <- time
+    end;
+    t.last_value.(var) <- Some value;
+    if Bitvec.width value = 1 then
+      Printf.bprintf t.buf "%c%s\n"
+        (if Bitvec.to_bool value then '1' else '0')
+        (code_of_int var)
+    else Printf.bprintf t.buf "b%s %s\n" (bits_of value) (code_of_int var)
+  end
+
+let current_time t = t.time
+
+let contents t =
+  enddefinitions t;
+  Buffer.contents t.buf
+
+let write_file t path =
+  Out_channel.with_open_text path (fun oc -> output_string oc (contents t))

@@ -1,0 +1,50 @@
+(** Obs.Vcd: an IEEE-1364 Value Change Dump writer.
+
+    The industry-standard waveform format: a header ($date, $version,
+    $timescale), variable declarations with bit widths, $enddefinitions,
+    an initial $dumpvars block, then timestamped value-change records.
+    Any VCD viewer (GTKWave, Surfer) opens the output.
+
+    The writer enforces the format's invariants so simulator hooks can
+    stay dumb: declarations must precede changes, timestamps must be
+    monotone, and a change to a value a variable already holds is
+    silently dropped (VCD records changes, not samples). *)
+
+type t
+type var
+
+val create :
+  ?date:string -> ?version:string -> ?timescale:string -> unit -> t
+(** A writer accumulating into memory.  [date] defaults to ["(run)"] — a
+    fixed string, so output is deterministic; [timescale] to ["1ns"]. *)
+
+val add_var : ?scope:string -> t -> name:string -> width:int -> var
+(** Declare a wire of [width] bits, optionally inside a named module
+    scope.  Identifier codes are assigned automatically.
+    @raise Invalid_argument after {!enddefinitions}. *)
+
+val alias : t -> ?scope:string -> name:string -> var -> unit
+(** Declare a second name for an existing variable (same identifier
+    code) — standard VCD aliasing, e.g. an output port name for an
+    internal net. *)
+
+val enddefinitions : t -> unit
+(** Emit the header, the declarations grouped by scope,
+    [$enddefinitions], and a [$dumpvars] block initializing every
+    variable to ['x'].  Called automatically by the first {!change}. *)
+
+val change : t -> time:int -> var -> Bitvec.t -> unit
+(** Record that [var] takes this value at [time].  Emits a [#time]
+    stamp when time advances; drops the record when the variable already
+    holds the value.
+    @raise Invalid_argument if [time] is less than the last time. *)
+
+val current_time : t -> int
+(** The last timestamp written; -1 before the first change. *)
+
+val num_vars : t -> int
+
+val contents : t -> string
+(** Everything written so far (forces {!enddefinitions}). *)
+
+val write_file : t -> string -> unit

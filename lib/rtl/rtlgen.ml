@@ -227,8 +227,8 @@ let elaborate (fsmd : Fsmd.t) : elaborated =
 
 (** Run the elaborated netlist to completion and return (result, globals,
     cycles) plus the evaluator's performance counters. *)
-let simulate_stats ?(max_cycles = 2_000_000) ?strategy (e : elaborated) ~args
-    ~func =
+let simulate_stats ?(max_cycles = 2_000_000) ?strategy ?probe
+    (e : elaborated) ~args ~func =
   let inputs =
     List.map2
       (fun (name, r) v ->
@@ -236,8 +236,8 @@ let simulate_stats ?(max_cycles = 2_000_000) ?strategy (e : elaborated) ~args
           Bitvec.resize ~signed:true ~width:(Cir.reg_width func r) v ))
       func.Cir.fn_params args
   in
-  Neteval.run_until_done_stats ?strategy e.netlist ~inputs ~done_name:"done"
-    ~max_cycles
+  Neteval.run_until_done_stats ?strategy ?probe e.netlist ~inputs
+    ~done_name:"done" ~max_cycles
 
 (** Run the elaborated netlist to completion and return (result, globals,
     cycles). *)

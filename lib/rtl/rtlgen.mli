@@ -29,7 +29,9 @@ val simulate :
     [Neteval.Full_sweep] to run the differential-testing oracle. *)
 
 val simulate_stats :
-  ?max_cycles:int -> ?strategy:Neteval.strategy -> elaborated ->
+  ?max_cycles:int -> ?strategy:Neteval.strategy -> ?probe:Neteval.probe ->
+  elaborated ->
   args:Bitvec.t list -> func:Cir.func ->
   ((string * Bitvec.t) list * int * Neteval.stats, [ `Timeout ]) result
-(** Like [simulate] but also returns the evaluator's counters. *)
+(** Like [simulate] but also returns the evaluator's counters and accepts
+    an observation probe (see {!Neteval.probe}). *)

@@ -5,10 +5,26 @@
    chaining-by-wire; the scheduler guarantees the order is legal), memory
    stores are buffered to the end of the cycle unless the design uses
    forwarding register-file memories, and loads read the pre-state
-   contents. *)
+   contents.
 
-exception Timeout
+   An optional trace hook observes every cycle (state taken, register
+   file, stores committed this cycle) after the cycle's effects are
+   applied; it cannot perturb the simulation.  Obs.Trace adapts it into a
+   VCD waveform. *)
+
+exception Timeout of { cycles : int; state : int }
 exception Runtime_error of string
+
+type trace = {
+  on_cycle :
+    cycle:int ->
+    state:int ->
+    regs:Bitvec.t array ->
+    stores:(int * int * Bitvec.t) list ->
+    unit;
+      (* stores: (region, address, value) committed this cycle, in
+         program order *)
+}
 
 type outcome = {
   return_value : Bitvec.t option;
@@ -18,7 +34,7 @@ type outcome = {
   states_visited : int array; (* visit count per state, for profiling *)
 }
 
-let run ?(max_cycles = 2_000_000) (fsmd : Fsmd.t) ~args : outcome =
+let run ?(max_cycles = 2_000_000) ?trace (fsmd : Fsmd.t) ~args : outcome =
   let func = fsmd.Fsmd.func in
   let regs =
     Array.init func.Cir.fn_reg_count (fun r ->
@@ -52,11 +68,13 @@ let run ?(max_cycles = 2_000_000) (fsmd : Fsmd.t) ~args : outcome =
   let result = ref None in
   let halted = ref false in
   while not !halted do
-    if !cycles >= max_cycles then raise Timeout;
+    if !cycles >= max_cycles then
+      raise (Timeout { cycles = !cycles; state = !state });
     incr cycles;
     let st = fsmd.Fsmd.states.(!state) in
     visited.(!state) <- visited.(!state) + 1;
     let store_buffer = ref [] in
+    let store_log = ref [] in
     List.iter
       (fun instr ->
         match instr with
@@ -80,6 +98,7 @@ let run ?(max_cycles = 2_000_000) (fsmd : Fsmd.t) ~args : outcome =
              else Bitvec.zero (Cir.reg_width func dst))
         | Cir.I_store { region; addr; value = v } ->
           let a = Bitvec.to_int_unsigned (value addr) in
+          store_log := (region, a, value v) :: !store_log;
           if fsmd.Fsmd.mem_forwarding then begin
             let mem = memories.(region) in
             if a < Array.length mem then mem.(a) <- value v
@@ -92,6 +111,11 @@ let run ?(max_cycles = 2_000_000) (fsmd : Fsmd.t) ~args : outcome =
         let mem = memories.(region) in
         if a < Array.length mem then mem.(a) <- v)
       (List.rev !store_buffer);
+    (match trace with
+    | None -> ()
+    | Some tr ->
+      tr.on_cycle ~cycle:(!cycles - 1) ~state:!state ~regs
+        ~stores:(List.rev !store_log));
     (match st.Fsmd.next with
     | Fsmd.N_goto target -> state := target
     | Fsmd.N_branch { cond; if_true; if_false } ->

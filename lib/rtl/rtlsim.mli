@@ -3,15 +3,35 @@
     visibility (chaining-by-wire); stores are buffered to the cycle end
     unless the design uses forwarding register-file memories. *)
 
-exception Timeout
+exception Timeout of { cycles : int; state : int }
+(** Raised past [max_cycles], carrying how far the run got (cycles
+    elapsed, the state being executed) so callers can report a partial
+    outcome instead of a bare failure. *)
+
 exception Runtime_error of string
+
+type trace = {
+  on_cycle :
+    cycle:int ->
+    state:int ->
+    regs:Bitvec.t array ->
+    stores:(int * int * Bitvec.t) list ->
+    unit;
+      (** Fired once per clock cycle, after the state's actions and
+          memory commits: the state executed, the whole register file,
+          and the (region, address, value) stores this cycle.  The hook
+          observes only — it receives committed values and cannot perturb
+          the run. *)
+}
 
 type outcome = {
   return_value : Bitvec.t option;
   cycles : int;
   globals : (string * Bitvec.t) list;
   memories : (string * Bitvec.t array) list;
-  states_visited : int array;  (** visit count per state (profiling) *)
+  states_visited : int array;
+      (** visit count per state; sums to [cycles] (profiling) *)
 }
 
-val run : ?max_cycles:int -> Fsmd.t -> args:Bitvec.t list -> outcome
+val run :
+  ?max_cycles:int -> ?trace:trace -> Fsmd.t -> args:Bitvec.t list -> outcome

@@ -1,0 +1,280 @@
+(* The observability subsystem: Obs.Metrics rendering invariants, Obs.Vcd
+   format invariants, waveform tracing from all three simulators on gcd,
+   the profile accounting identity (state visits sum to cycles), timeout
+   payloads, and the qcheck property that tracing is observation-only. *)
+
+let gcd_src =
+  {|
+  int gcd(int a, int b) {
+    while (a != b) {
+      if (a > b) a = a - b;
+      else b = b - a;
+    }
+    return a;
+  }
+  |}
+
+let gcd_func () =
+  let program = Typecheck.parse_and_check gcd_src in
+  let lowered, _ = Passes.lower_simplify program ~entry:"gcd" in
+  lowered.Lower.func
+
+(* The dataflow circuit is built from the raw lowering (the cash pipeline
+   runs no CFG simplification — every tiny block is just a cheap merge). *)
+let gcd_ssa () =
+  let program = Typecheck.parse_and_check gcd_src in
+  let lowered = Lower.lower_program program ~entry:"gcd" in
+  Ssa.of_func lowered.Lower.func
+
+let gcd_fsmd () =
+  let func = gcd_func () in
+  Fsmd.of_func func ~schedule_block:(fun blk ->
+      Schedule.list_schedule func Schedule.default_allocation blk.Cir.instrs)
+
+let args_of (a, b) =
+  [ Bitvec.of_int ~width:64 a; Bitvec.of_int ~width:64 b ]
+
+(* Timestamps in a VCD body must be non-decreasing. *)
+let check_vcd_structure name contents =
+  Alcotest.(check bool) (name ^ ": has header") true
+    (String.length contents > 0
+    && String.sub contents 0 5 = "$date");
+  let has needle =
+    let nl = String.length needle and l = String.length contents in
+    let rec go i =
+      i + nl <= l && (String.sub contents i nl = needle || go (i + 1))
+    in
+    go 0
+  in
+  Alcotest.(check bool) (name ^ ": has $enddefinitions") true
+    (has "$enddefinitions $end");
+  Alcotest.(check bool) (name ^ ": has $dumpvars") true (has "$dumpvars");
+  let last = ref (-1) in
+  List.iter
+    (fun line ->
+      if String.length line > 1 && line.[0] = '#' then begin
+        let t = int_of_string (String.sub line 1 (String.length line - 1)) in
+        if t < !last then
+          Alcotest.failf "%s: timestamp #%d after #%d" name t !last;
+        last := t
+      end)
+    (String.split_on_char '\n' contents);
+  Alcotest.(check bool) (name ^ ": has at least one timestamp") true
+    (!last >= 0)
+
+(* --- Obs.Metrics --- *)
+
+let test_metrics_render () =
+  let m = Metrics.create () in
+  Metrics.set_string m "schema" "chls.metrics/1";
+  Metrics.set_int m "sim.cycles" 35;
+  Metrics.set_int m "sim.events" 3;
+  Metrics.set_fixed m "sim.ratio" ~decimals:2 1.5;
+  let rendered = Metrics.render (Metrics.to_json m) in
+  let expected =
+    "{\n  \"schema\": \"chls.metrics/1\",\n  \"sim\": {\n    \"cycles\": 35,\n\
+    \    \"events\": 3,\n    \"ratio\": 1.50\n  }\n}"
+  in
+  Alcotest.(check string) "dotted names nest, Fixed is deterministic"
+    expected rendered;
+  (* byte-stable: rendering twice yields the same bytes *)
+  Alcotest.(check string) "render is stable" rendered
+    (Metrics.render (Metrics.to_json m))
+
+let test_metrics_counters () =
+  let m = Metrics.create () in
+  Metrics.incr m "n";
+  Metrics.incr m ~by:4 "n";
+  Alcotest.(check bool) "incr accumulates" true
+    (Metrics.find m "n" = Some (Metrics.Int 5));
+  let src = Metrics.create () in
+  Metrics.set_int src "cycles" 7;
+  Metrics.merge ~into:m ~prefix:"run" src;
+  Alcotest.(check bool) "merge prefixes" true
+    (Metrics.find m "run.cycles" = Some (Metrics.Int 7))
+
+(* --- Obs.Vcd --- *)
+
+let test_vcd_invariants () =
+  let v = Vcd.create () in
+  let x = Vcd.add_var v ~name:"x" ~width:4 in
+  Vcd.change v ~time:0 x (Bitvec.of_int ~width:4 3);
+  Vcd.change v ~time:1 x (Bitvec.of_int ~width:4 3);
+  (* unchanged *)
+  Vcd.change v ~time:2 x (Bitvec.of_int ~width:4 5);
+  (match Vcd.change v ~time:1 x (Bitvec.of_int ~width:4 9) with
+  | () -> Alcotest.fail "non-monotone time accepted"
+  | exception Invalid_argument _ -> ());
+  let contents = Vcd.contents v in
+  check_vcd_structure "unit" contents;
+  (* the unchanged value at #1 must be dropped: exactly two changes *)
+  let changes =
+    List.filter
+      (fun l -> String.length l > 1 && l.[0] = 'b')
+      (String.split_on_char '\n' contents)
+  in
+  (* one x-init in $dumpvars + two real changes *)
+  Alcotest.(check int) "unchanged values dropped" 3 (List.length changes)
+
+(* --- waveforms from all three simulators --- *)
+
+let test_vcd_rtlsim () =
+  let fsmd = gcd_fsmd () in
+  let v = Vcd.create () in
+  let trace = Trace.rtlsim_trace v fsmd in
+  let outcome = Rtlsim.run ~trace fsmd ~args:(args_of (1071, 462)) in
+  Alcotest.(check (option int)) "result" (Some 21)
+    (Option.map Bitvec.to_int outcome.Rtlsim.return_value);
+  check_vcd_structure "rtlsim" (Vcd.contents v)
+
+let test_vcd_neteval () =
+  let fsmd = gcd_fsmd () in
+  let e = Rtlgen.elaborate fsmd in
+  let v = Vcd.create () in
+  let t = Neteval.create e.Rtlgen.netlist in
+  Neteval.set_probe t (Trace.neteval_probe v e.Rtlgen.netlist);
+  let inputs =
+    [ ("a", Bitvec.of_int ~width:32 1071); ("b", Bitvec.of_int ~width:32 462) ]
+  in
+  (match Neteval.drive t ~inputs ~done_name:"done" ~max_cycles:10_000 with
+  | Ok (outputs, _) ->
+    Alcotest.(check int) "result" 21
+      (Bitvec.to_int (List.assoc "result" outputs))
+  | Error `Timeout -> Alcotest.fail "netlist timeout");
+  check_vcd_structure "neteval" (Vcd.contents v)
+
+let test_vcd_asim () =
+  let ssa = gcd_ssa () in
+  let v = Vcd.create () in
+  let on_fire, finalize = Trace.asim_tracer v ssa.Ssa.func in
+  let outcome = Asim.run ~on_fire ssa ~args:(args_of (1071, 462)) in
+  finalize ();
+  Alcotest.(check (option int)) "result" (Some 21)
+    (Option.map Bitvec.to_int outcome.Asim.return_value);
+  check_vcd_structure "asim" (Vcd.contents v)
+
+(* --- profile accounting --- *)
+
+let test_states_visited_sums_to_cycles () =
+  let fsmd = gcd_fsmd () in
+  let outcome = Rtlsim.run fsmd ~args:(args_of (1071, 462)) in
+  let sum = Array.fold_left ( + ) 0 outcome.Rtlsim.states_visited in
+  Alcotest.(check int) "visit counts account for every cycle"
+    outcome.Rtlsim.cycles sum
+
+(* --- timeout payloads --- *)
+
+let test_timeout_payloads () =
+  let fsmd = gcd_fsmd () in
+  (match Rtlsim.run ~max_cycles:3 fsmd ~args:(args_of (1071, 462)) with
+  | _ -> Alcotest.fail "expected Rtlsim.Timeout"
+  | exception Rtlsim.Timeout { cycles; state } ->
+    Alcotest.(check int) "cycles at timeout" 3 cycles;
+    Alcotest.(check bool) "state in range" true
+      (state >= 0 && state < Fsmd.num_states fsmd));
+  let ssa = gcd_ssa () in
+  match Asim.run ~max_tokens:5 ssa ~args:(args_of (1071, 462)) with
+  | _ -> Alcotest.fail "expected Asim.Timeout"
+  | exception Asim.Timeout { tokens_fired; time } ->
+    Alcotest.(check int) "tokens at timeout" 5 tokens_fired;
+    Alcotest.(check bool) "time is finite" true (Float.is_finite time)
+
+(* --- tracing is observation-only ---
+
+   Compile random programs and run each simulator with and without its
+   trace hook installed: results, cycle counts and completion times must
+   be bit-identical.  This is the property that makes --vcd safe to reach
+   for during debugging: a waveform can never change the run. *)
+
+let observation_only =
+  QCheck.Test.make ~name:"tracing never perturbs simulation" ~count:60
+    (QCheck.pair Test_random.arb_program
+       (QCheck.pair QCheck.small_nat QCheck.small_nat))
+    (fun (src, (a, b)) ->
+      let program = Typecheck.parse_and_check src in
+      let lowered, _ = Passes.lower_simplify program ~entry:"f" in
+      let func = lowered.Lower.func in
+      let args = args_of (a, b) in
+      (* FSMD: plain vs traced *)
+      let fsmd =
+        Fsmd.of_func func ~schedule_block:(fun blk ->
+            Schedule.list_schedule func Schedule.default_allocation
+              blk.Cir.instrs)
+      in
+      let plain = Rtlsim.run fsmd ~args in
+      let v = Vcd.create () in
+      let traced = Rtlsim.run ~trace:(Trace.rtlsim_trace v fsmd) fsmd ~args in
+      let opt_eq x y =
+        match (x, y) with
+        | Some x, Some y -> Bitvec.equal x y
+        | None, None -> true
+        | _ -> false
+      in
+      let fsmd_same =
+        opt_eq plain.Rtlsim.return_value traced.Rtlsim.return_value
+        && plain.Rtlsim.cycles = traced.Rtlsim.cycles
+        && plain.Rtlsim.states_visited = traced.Rtlsim.states_visited
+      in
+      (* netlist: plain vs probed *)
+      let e = Rtlgen.elaborate fsmd in
+      let inputs =
+        List.map2
+          (fun (name, r) x ->
+            ( name,
+              Bitvec.resize ~signed:true ~width:(Cir.reg_width func r) x ))
+          func.Cir.fn_params args
+      in
+      let run_net probe =
+        let t = Neteval.create e.Rtlgen.netlist in
+        (match probe with
+        | Some p -> Neteval.set_probe t p
+        | None -> ());
+        Neteval.drive t ~inputs ~done_name:"done" ~max_cycles:100_000
+      in
+      let nv = Vcd.create () in
+      let net_same =
+        match
+          ( run_net None,
+            run_net (Some (Trace.neteval_probe nv e.Rtlgen.netlist)) )
+        with
+        | Ok (o1, c1), Ok (o2, c2) ->
+          c1 = c2
+          && List.for_all2
+               (fun (n1, v1) (n2, v2) -> n1 = n2 && Bitvec.equal v1 v2)
+               o1 o2
+        | Error `Timeout, Error `Timeout -> true
+        | _ -> false
+      in
+      (* async dataflow: plain vs traced (SSA from the raw lowering, as
+         the cash pipeline builds it) *)
+      let ssa = Ssa.of_func (Lower.lower_program program ~entry:"f").Lower.func in
+      let aplain = Asim.run ssa ~args in
+      let av = Vcd.create () in
+      let on_fire, finalize = Trace.asim_tracer av ssa.Ssa.func in
+      let atraced = Asim.run ~on_fire ssa ~args in
+      finalize ();
+      let asim_same =
+        opt_eq aplain.Asim.return_value atraced.Asim.return_value
+        && aplain.Asim.completion_time = atraced.Asim.completion_time
+        && aplain.Asim.tokens_fired = atraced.Asim.tokens_fired
+      in
+      if not fsmd_same then QCheck.Test.fail_report "rtlsim diverged";
+      if not net_same then QCheck.Test.fail_report "neteval diverged";
+      if not asim_same then QCheck.Test.fail_report "asim diverged";
+      true)
+
+let suite =
+  ( "obs",
+    [ Alcotest.test_case "metrics: nesting and determinism" `Quick
+        test_metrics_render;
+      Alcotest.test_case "metrics: counters and merge" `Quick
+        test_metrics_counters;
+      Alcotest.test_case "vcd: format invariants" `Quick test_vcd_invariants;
+      Alcotest.test_case "vcd from rtlsim (gcd)" `Quick test_vcd_rtlsim;
+      Alcotest.test_case "vcd from neteval (gcd)" `Quick test_vcd_neteval;
+      Alcotest.test_case "vcd from asim (gcd)" `Quick test_vcd_asim;
+      Alcotest.test_case "profile: state visits sum to cycles" `Quick
+        test_states_visited_sums_to_cycles;
+      Alcotest.test_case "timeouts carry partial outcomes" `Quick
+        test_timeout_payloads;
+      QCheck_alcotest.to_alcotest observation_only ] )

@@ -63,7 +63,7 @@ let test_rtlsim_timeout () =
   in
   let fsmd = default_fsmd func in
   match Rtlsim.run ~max_cycles:100 fsmd ~args:[] with
-  | exception Rtlsim.Timeout -> ()
+  | exception Rtlsim.Timeout _ -> ()
   | _ -> Alcotest.fail "expected timeout"
 
 let test_elaboration_init_done_protocol () =
