@@ -365,6 +365,111 @@ let cones_area () =
      (every\niteration becomes hardware), the combinational critical path \
      grows too — the\nscheme cannot share anything across \"iterations\".\n"
 
+(* --------------------------------------------------------------- E5b -- *)
+
+(* The per-language concurrency-safety characterisation, regenerated from
+   the static checker itself: each row is a canonical hazard shape, each
+   cell the verdict Conc_check reaches under that dialect's rules.  The
+   table is computed, never hand-written, so it cannot drift from the
+   checker. *)
+let conc_safety () =
+  Tables.section "E5b"
+    "Concurrency hazards under each dialect's rules (from the checker)"
+    "Handel-C \"programs are supposed to avoid multiple simultaneous \
+     accesses to shared resources\"; SpecC leaves shared variables to the \
+     programmer (the silent hazard); Bach C's untimed semantics make any \
+     racing access unordered";
+  let programs =
+    [ ( "clean pipeline",
+        {|
+        chan int c;
+        int f(int n) {
+          int hits = 0;
+          par {
+            { int i = 0; while (i < n) { send(c, i); i = i + 1; } send(c, -1); }
+            { int v = 0; v = recv(c); while (v != -1) { hits = hits + v; v = recv(c); } }
+          }
+          return hits;
+        }
+        |} );
+      ( "write/write race",
+        {|
+        int g;
+        int f(int n) {
+          par { { g = n; } { g = n + 1; } }
+          return g;
+        }
+        |} );
+      ( "read/write race",
+        {|
+        int g;
+        int f(int n) {
+          par { { g = n; } { int x = g; x = x + 1; } }
+          return g;
+        }
+        |} );
+      ( "unmatched send",
+        {|
+        chan int c;
+        int f(int n) {
+          par { { send(c, n); } { int x = n; x = x + 1; } }
+          return n;
+        }
+        |} );
+      ( "channel fan (3 arms)",
+        {|
+        chan int c;
+        int f(int n) {
+          par {
+            { send(c, n); }
+            { int a = recv(c); a = a + 1; }
+            { int b = recv(c); b = b + 1; }
+          }
+          return n;
+        }
+        |} );
+      ( "self rendezvous",
+        {|
+        chan int c;
+        int f(int n) {
+          par {
+            { send(c, n); int x = recv(c); x = x + 1; }
+            { int y = n; y = y + 1; }
+          }
+          return n;
+        }
+        |} ) ]
+  in
+  let dialects =
+    [ Dialect.handelc; Dialect.specc; Dialect.bachc; Dialect.cyber ]
+  in
+  let verdict dialect program =
+    let diags = Conc_check.check_program ~dialect program in
+    let errors = List.length (Conc_check.errors diags)
+    and warnings = List.length (Conc_check.warnings diags) in
+    if errors > 0 then Printf.sprintf "ERROR x%d" errors
+    else if warnings > 0 then Printf.sprintf "warn x%d" warnings
+    else "ok"
+  in
+  let widths = 21 :: List.map (fun _ -> 11) dialects in
+  let header =
+    "hazard shape" :: List.map (fun (d : Dialect.t) -> d.Dialect.name) dialects
+  in
+  let rows =
+    List.map
+      (fun (name, src) ->
+        let program = Typecheck.parse_and_check src in
+        name :: List.map (fun d -> verdict d program) dialects)
+      programs
+  in
+  Tables.table widths header rows;
+  Printf.printf
+    "\nShape to check: the clean pipeline is ok everywhere; Handel-C and \
+     Cyber reject\ntwo writers but only warn on a reader beside a writer; \
+     Bach C's untimed\nsemantics harden read/write races into errors too; \
+     SpecC never errors — the\npaper's silent hazard, every cell a \
+     warning.\n"
+
 (* ---------------------------------------------------------------- E6 -- *)
 
 let async_vs_sync () =
@@ -609,6 +714,7 @@ let run_all () =
   timing_schemes ();
   recoding ();
   cones_area ();
+  conc_safety ();
   async_vs_sync ();
   timing_constraints ();
   bitwidth ();

@@ -12,6 +12,21 @@ open Cmdliner
 let read_file path =
   In_channel.with_open_text path In_channel.input_all
 
+(* Run [f], turning located front-end and lowering exceptions into
+   file:line:col diagnostics instead of uncaught-exception crashes. *)
+let or_located_error file f =
+  let located loc msg =
+    if loc = Ast.no_loc then Printf.eprintf "%s: error: %s\n" file msg
+    else
+      Printf.eprintf "%s:%d:%d: error: %s\n" file loc.Ast.line loc.Ast.col msg;
+    exit 1
+  in
+  match f () with
+  | v -> v
+  | exception Parser.Error (msg, loc) -> located loc msg
+  | exception Typecheck.Error (msg, loc) -> located loc msg
+  | exception Lower.Error (msg, loc) -> located loc msg
+
 let parse_args_list s =
   if String.trim s = "" then []
   else List.map int_of_string (String.split_on_char ',' (String.trim s))
@@ -37,27 +52,104 @@ let table1_cmd =
   Cmd.v (Cmd.info "table1" ~doc)
     Term.(const (fun () -> print_string (Chls.render_table1 ())) $ const ())
 
-let check_cmd =
-  let doc = "Report which surveyed dialects accept the program" in
-  let run file =
-    let program = Chls.parse (read_file file) in
-    List.iter
-      (fun (d : Dialect.t) ->
-        match Dialect.check d program with
-        | [] -> Printf.printf "%-18s accepts\n" d.Dialect.name
-        | { Dialect.rule; where } :: _ ->
-          Printf.printf "%-18s rejects: %s (in %s)\n" d.Dialect.name rule
-            where)
-      Dialect.table1
+let metrics_json_arg =
+  Arg.(value & opt (some string) None
+       & info [ "metrics-json" ] ~docv:"OUT.json"
+           ~doc:
+             "Write a machine-readable run report (schema chls.metrics/1): \
+              design facts, the per-pass compile trace, simulator counters \
+              and the run outcome, rendered deterministically")
+
+(* chlsc check --races: the static concurrency checker (lib/analysis).
+   Diagnostics print as file:line:col with the dialect's severity; exit
+   status is 0 when the program is race-free under the chosen dialect and
+   1 when any hard error is reported. *)
+let run_races file dialect_name metrics_json =
+  let dialect =
+    (* accept both backend spellings (handelc, bachc) and Table 1 names
+       ("Handel-C", "Bach C") *)
+    match Chls.backend_of_name dialect_name with
+    | Some b -> Chls.dialect_of b
+    | None -> (
+      match Dialect.find dialect_name with
+      | Some d -> d
+      | None ->
+        Printf.eprintf "unknown dialect %S (try handelc, specc, bachc)\n"
+          dialect_name;
+        exit 1)
   in
-  Cmd.v (Cmd.info "check" ~doc) Term.(const run $ file_arg)
+  let program = or_located_error file (fun () -> Chls.parse (read_file file)) in
+  let diags = Conc_check.check_program ~dialect program in
+  List.iter (fun d -> print_endline (Conc_check.render ~file d)) diags;
+  let errors = Conc_check.errors diags
+  and warnings = Conc_check.warnings diags in
+  Printf.printf "%s: %d error(s), %d warning(s) under %s rules\n"
+    (if errors = [] then "race-free" else "concurrency-unsafe")
+    (List.length errors) (List.length warnings) dialect.Dialect.name;
+  (match metrics_json with
+  | None -> ()
+  | Some path ->
+    let m = Metrics.create () in
+    Metrics.set_string m "schema" "chls.metrics/1";
+    Metrics.set_string m "check.dialect" dialect.Dialect.name;
+    List.iter
+      (fun (k, n) -> Metrics.set_int m ("check." ^ k) n)
+      (Conc_check.metric_counters diags);
+    Metrics.set_int m "check.errors" (List.length errors);
+    Metrics.set_int m "check.warnings" (List.length warnings);
+    Metrics.write_file m path;
+    Printf.printf "wrote %s\n" path);
+  if errors <> [] then exit 1
+
+let check_cmd =
+  let doc =
+    "Report which surveyed dialects accept the program; with --races, run \
+     the static concurrency checker instead"
+  in
+  let races_flag =
+    Arg.(value & flag
+         & info [ "races" ]
+             ~doc:
+               "Run the par-block race detector and channel lint: report \
+                write/write and read/write conflicts between par arms and \
+                rendezvous protocol hazards with source locations, under \
+                the severity rules of --dialect.  Exit 0 when race-free, \
+                1 on any hard error")
+  in
+  let dialect_arg =
+    Arg.(value & opt string "handelc"
+         & info [ "d"; "dialect" ] ~docv:"DIALECT"
+             ~doc:
+               "Dialect whose concurrency rules judge the program \
+                (handel-c | specc | \"bach c\" | ...; default handel-c)")
+  in
+  let run file races dialect metrics_json =
+    if races then run_races file dialect metrics_json
+    else begin
+      let program =
+        or_located_error file (fun () -> Chls.parse (read_file file))
+      in
+      List.iter
+        (fun (d : Dialect.t) ->
+          match Dialect.check d program with
+          | [] -> Printf.printf "%-18s accepts\n" d.Dialect.name
+          | { Dialect.rule; where } :: _ ->
+            Printf.printf "%-18s rejects: %s (in %s)\n" d.Dialect.name rule
+              where)
+        Dialect.table1
+    end
+  in
+  Cmd.v (Cmd.info "check" ~doc)
+    Term.(const run $ file_arg $ races_flag $ dialect_arg $ metrics_json_arg)
 
 let run_cmd =
   let doc = "Execute with the software semantics (reference interpreter)" in
   let run file entry args =
     let source = read_file file in
     let args = parse_args_list (Option.value args ~default:"") in
-    let result = Chls.reference source ~entry ~args in
+    let result =
+      or_located_error file (fun () -> Chls.reference source ~entry ~args)
+    in
     Printf.printf "%s(%s) = %d\n" entry
       (String.concat "," (List.map string_of_int args))
       result
@@ -141,14 +233,6 @@ let profile_flag =
              "With --args: print execution histograms — FSM state visit \
               counts (summing to the cycle count) and the hottest netlist \
               nodes by evaluation count")
-
-let metrics_json_arg =
-  Arg.(value & opt (some string) None
-       & info [ "metrics-json" ] ~docv:"OUT.json"
-           ~doc:
-             "Write a machine-readable run report (schema chls.metrics/1): \
-              design facts, the per-pass compile trace, simulator counters \
-              and the run outcome, rendered deterministically")
 
 (* Drive the design's netlist view through the evaluator under both settling
    strategies and print the activity counters side by side. *)
@@ -298,7 +382,7 @@ let compile_cmd =
   let run file entry backend args verilog area stats trace_passes dump_ir
       verify_passes vcd vcd_netlist profile metrics_json =
     let source = read_file file in
-    let program = Chls.parse source in
+    let program = or_located_error file (fun () -> Chls.parse source) in
     (match Dialect.check (Chls.dialect_of backend) program with
     | [] -> ()
     | { Dialect.rule; where } :: _ ->
@@ -317,11 +401,18 @@ let compile_cmd =
     Passes.set_options
       { Passes.default_options with Passes.verify; dump_after = dump_ir };
     let design =
-      match Chls.compile_program backend program ~entry with
-      | design -> design
-      | exception Passes.Verification_failed msg ->
-        Printf.eprintf "PASS VERIFICATION FAILED: %s\n" msg;
-        exit 2
+      or_located_error file (fun () ->
+          match Chls.compile_program backend program ~entry with
+          | design -> design
+          | exception Passes.Verification_failed msg ->
+            Printf.eprintf "PASS VERIFICATION FAILED: %s\n" msg;
+            exit 2
+          | exception Conc_check.Check_failed ds ->
+            (* the conc-check pipeline pass rejected the program *)
+            List.iter
+              (fun d -> Printf.eprintf "%s\n" (Conc_check.render ~file d))
+              ds;
+            exit 1)
     in
     let m = Metrics.create () in
     Metrics.set_string m "schema" "chls.metrics/1";
@@ -471,8 +562,10 @@ let analyze_cmd =
   in
   let run file entry =
     let source = read_file file in
-    let program = Chls.parse source in
-    let lowered, _ = Passes.lower_simplify program ~entry in
+    let program = or_located_error file (fun () -> Chls.parse source) in
+    let lowered, _ =
+      or_located_error file (fun () -> Passes.lower_simplify program ~entry)
+    in
     let func = lowered.Lower.func in
     print_endline "=== CIR (after inlining and CFG simplification) ===";
     print_string (Cir.to_string func);

@@ -17,7 +17,12 @@
 
 let dialect = Dialect.bachc
 
-let pipeline = Passes.pipeline "bachc" ~func_passes:[ Passes.simplify_pass ]
+(* The concurrency checker is a declared prerequisite: Bach C's untimed
+   semantics make any par-arm race a hard error (see Conc_check). *)
+let pipeline =
+  Passes.pipeline "bachc"
+    ~program_passes:[ Conc_check.pass Dialect.bachc ]
+    ~func_passes:[ Passes.simplify_pass ]
 
 let compile ?(resources = Schedule.default_allocation)
     (program : Ast.program) ~entry : Design.t =

@@ -207,7 +207,10 @@ let compile_function c (f : Ast.func) (info : fn_info) =
            ( (match op with
              | Ast.Neg -> Netlist.U_neg
              | Ast.Bit_not -> Netlist.U_not
-             | Ast.Log_not -> assert false),
+             | Ast.Log_not ->
+               error
+                 "internal: !e must be emitted as a == 0 comparison, \
+                  not a unary opcode"),
              width_of e.Ast.ty ))
     | Ast.Binop ((Ast.Log_and | Ast.Log_or) as op, a, b) ->
       (* short-circuit via jumps *)
@@ -234,7 +237,10 @@ let compile_function c (f : Ast.func) (info : fn_info) =
         push_expr b;
         emit c (Push 0L);
         emit c (Bin (Netlist.B_ne, width_of b.Ast.ty))
-      | _ -> assert false);
+      | _ ->
+        error
+          "internal: short-circuit emission reached with a non-logical \
+           operator");
       end_cell := c.pc
     | Ast.Binop (op, a, b) -> push_binop e op a b
     | Ast.Assign (lhs, rhs) ->
@@ -328,7 +334,10 @@ let compile_function c (f : Ast.func) (info : fn_info) =
       | Ast.Gt | Ast.Ge ->
         (* emit as swapped lt/le: re-push in swapped order *)
         ()
-      | Ast.Log_and | Ast.Log_or -> assert false);
+      | Ast.Log_and | Ast.Log_or ->
+        error
+          "internal: && and || are short-circuit control flow, not stack \
+           datapath ops (handled in push_expr)");
       (match op with
       | Ast.Gt | Ast.Ge ->
         (* redo with swapped operand order *)

@@ -107,7 +107,10 @@ let rec eval st (e : Ast.expr) : Netlist.signal =
       | Ast.Le -> if signed then Netlist.B_sle else Netlist.B_ule
       | Ast.Gt -> if signed then Netlist.B_slt else Netlist.B_ult
       | Ast.Ge -> if signed then Netlist.B_sle else Netlist.B_ule
-      | Ast.Log_and | Ast.Log_or -> assert false
+      | Ast.Log_and | Ast.Log_or ->
+        unsupported
+          "internal: && and || reach the flat datapath emitter (the \
+           boolean form above must handle them)"
     in
     let sa, sb = match op with Ast.Gt | Ast.Ge -> (sb, sa) | _ -> (sa, sb) in
     let raw = Netlist.binop st.nl netop sa sb in

@@ -586,10 +586,15 @@ let compile_with_policy ~backend_name ~dialect ~policy
   in
   (* Source-level recoding (e.g. E4's temporary fusion) is declared to the
      pass manager so it is timed and differentially checked; the statement
-     machine below runs the transformed program. *)
+     machine below runs the transformed program.  The concurrency checker
+     runs first: a program the dialect statically forbids (e.g. two par
+     arms writing one variable under Handel-C's rules) never reaches the
+     simulator — Conc_check.Check_failed carries the located diagnostics. *)
   let program, source_trace =
     Passes.run_program_passes
-      (Passes.pipeline backend_name ~program_passes ~lowers:false)
+      (Passes.pipeline backend_name
+         ~program_passes:(Conc_check.pass dialect :: program_passes)
+         ~lowers:false)
       program ~entry
   in
   let run ?vcd:_ args =
@@ -661,7 +666,12 @@ let compile_with_policy ~backend_name ~dialect ~policy
           program ~entry
       with
       | lowered, trace -> Ok (lowered.Lower.func, trace)
-      | exception Lower.Error msg -> Error ("lowering failed: " ^ msg)
+      | exception Lower.Error (msg, loc) ->
+        Error
+          (if loc = Ast.no_loc then "lowering failed: " ^ msg
+           else
+             Printf.sprintf "lowering failed at %d:%d: %s" loc.Ast.line
+               loc.Ast.col msg)
   in
   let structural =
     lazy
@@ -708,6 +718,7 @@ let dialect = Dialect.handelc
 
 let pipeline =
   Passes.pipeline "handelc-structural"
+    ~program_passes:[ Conc_check.pass Dialect.handelc ]
     ~func_passes:[ Passes.simplify_pass ]
 
 let compile (program : Ast.program) ~entry : Design.t =

@@ -41,9 +41,13 @@ type report = { checks : check list; all_equivalent : bool }
 
 let dialect = Dialect.specc
 
-(* The architecture-level refinement is a scheduled FSMD. *)
+(* The architecture-level refinement is a scheduled FSMD.  The
+   concurrency checker runs first; under SpecC's rules shared-variable
+   hazards are warnings (the paper's silent hazard), never errors. *)
 let pipeline =
-  Passes.pipeline "specc-arch" ~func_passes:[ Passes.simplify_pass ]
+  Passes.pipeline "specc-arch"
+    ~program_passes:[ Conc_check.pass Dialect.specc ]
+    ~func_passes:[ Passes.simplify_pass ]
 
 let uses_concurrency (program : Ast.program) =
   List.exists

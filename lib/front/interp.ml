@@ -576,13 +576,42 @@ and exec_thread_stmt machine thread (st : Ast.stmt) =
   | Constrain (_, _, body) ->
     thread.cont <- scoped_items thread body thread.cont
 
-let run_machine machine entry_thread =
+(* A deterministic Fisher-Yates shuffle keyed on (seed, round): the
+   scheduler-perturbation hook behind [run ~sched_seed].  Thread *visit*
+   order changes per round; rendezvous pairing (creation order) does not,
+   so a program the static checker calls race-free must produce the same
+   observables under every seed — the qcheck property in test_conc.ml. *)
+let permute ~seed ~round threads =
+  match threads with
+  | [] | [ _ ] -> threads
+  | _ ->
+    let arr = Array.of_list threads in
+    let state = ref (((seed * 0x9e3779b1) lxor (round * 0x85ebca77)) lor 1) in
+    let next bound =
+      state := ((!state * 1103515245) + 12345) land 0x3FFFFFFF;
+      !state mod bound
+    in
+    for i = Array.length arr - 1 downto 1 do
+      let j = next (i + 1) in
+      let t = arr.(i) in
+      arr.(i) <- arr.(j);
+      arr.(j) <- t
+    done;
+    Array.to_list arr
+
+let run_machine ?sched_seed machine entry_thread =
   let finished t = t.cont = [] in
   let runnable t = t.state = Runnable && not (finished t) in
+  let round = ref 0 in
   let rec loop () =
     if machine.return_value <> None || finished entry_thread then ()
     else begin
-      let snapshot = machine.threads in
+      incr round;
+      let snapshot =
+        match sched_seed with
+        | None -> machine.threads
+        | Some seed -> permute ~seed ~round:!round machine.threads
+      in
       let ran = ref false in
       List.iter
         (fun t ->
@@ -635,7 +664,8 @@ let allocate_globals store (program : Ast.program) =
 
 (** Run [entry] with scalar [args]; the program must already be
     type-checked.  [fuel] bounds the number of interpreter steps. *)
-let run ?(fuel = 10_000_000) (program : Ast.program) ~entry ~args : outcome =
+let run ?(fuel = 10_000_000) ?sched_seed (program : Ast.program) ~entry
+    ~args : outcome =
   let func =
     match Ast.find_func program entry with
     | Some f -> f
@@ -665,7 +695,7 @@ let run ?(fuel = 10_000_000) (program : Ast.program) ~entry ~args : outcome =
   let entry_thread =
     spawn machine (List.map (fun s -> I_stmt s) func.f_body) [ frame ]
   in
-  run_machine machine entry_thread;
+  run_machine ?sched_seed machine entry_thread;
   { return_value =
       (match machine.return_value with Some v -> v | None -> None);
     steps = env.steps;
@@ -687,10 +717,10 @@ let read_global_array outcome name =
 
 (** Convenience wrapper: parse, check, run, and return the entry function's
     result as an int. *)
-let run_int ?fuel src ~entry ~args =
+let run_int ?fuel ?sched_seed src ~entry ~args =
   let program = Typecheck.parse_and_check src in
   let args = List.map (fun n -> Bitvec.of_int ~width:64 n) args in
-  let outcome = run ?fuel program ~entry ~args in
+  let outcome = run ?fuel ?sched_seed program ~entry ~args in
   match outcome.return_value with
   | Some v -> Bitvec.to_int v
   | None -> error "%s returned no value" entry

@@ -77,8 +77,14 @@ type outcome = {
 }
 
 val run :
-  ?fuel:int -> Ast.program -> entry:string -> args:Bitvec.t list -> outcome
-(** Run [entry] on a type-checked program.
+  ?fuel:int -> ?sched_seed:int -> Ast.program -> entry:string ->
+  args:Bitvec.t list -> outcome
+(** Run [entry] on a type-checked program.  [sched_seed] perturbs the
+    round-robin thread *visit* order with a deterministic per-round
+    shuffle (rendezvous pairing is unaffected): programs the static
+    concurrency checker calls race-free must return identical observables
+    under every seed, while racy programs may diverge — the dynamic
+    cross-check of {!Conc_check}.
     @raise Runtime_error on semantic errors (wild pointers, out-of-bounds
     accesses, undefined functions),
     @raise Deadlock when no thread can make progress,
@@ -87,5 +93,7 @@ val run :
 val read_global : outcome -> string -> Bitvec.t
 val read_global_array : outcome -> string -> Bitvec.t array
 
-val run_int : ?fuel:int -> string -> entry:string -> args:int list -> int
+val run_int :
+  ?fuel:int -> ?sched_seed:int -> string -> entry:string -> args:int list ->
+  int
 (** Parse, check, run; the entry function's result as an int. *)

@@ -34,7 +34,10 @@ let bind env loc name ty =
   | scope :: _ ->
     if Hashtbl.mem scope name then fail loc "redeclaration of %s" name;
     Hashtbl.replace scope name ty
-  | [] -> assert false
+  | [] ->
+    (* unreachable through [check_func] (which always opens a scope), but
+       a malformed environment must surface as a diagnostic, not a crash *)
+    fail loc "declaration of %s outside any scope" name
 
 let push_scope env = { env with scopes = Hashtbl.create 8 :: env.scopes }
 
@@ -339,6 +342,10 @@ let check_program (p : Ast.program) : Ast.program =
     (fun (g : Ast.global) ->
       match (g.g_ty, g.g_init) with
       | Ctypes.Void, _ -> fail Ast.no_loc "void global %s" g.g_name
+      | Ctypes.Array (_, n), _ when n <= 0 ->
+        (* locals already reject this in [check_stmt]; without the same
+           guard here a negative size survives into storage allocation *)
+        fail Ast.no_loc "global array %s has size %d" g.g_name n
       | Ctypes.Array (_, n), Some values when List.length values > n ->
         fail Ast.no_loc "too many initializers for %s" g.g_name
       | (Ctypes.Integer _ | Ctypes.Pointer _), Some values

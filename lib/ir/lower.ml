@@ -13,9 +13,13 @@
        an I_cast when C's int-typed result is needed;
      - locals without initializers read as zero (deterministic hardware). *)
 
-exception Error of string
+exception Error of string * Ast.loc
 
-let error fmt = Printf.ksprintf (fun m -> raise (Error m)) fmt
+let error_at loc fmt = Printf.ksprintf (fun m -> raise (Error (m, loc))) fmt
+
+(* for failures with no single source point (malformed builder state,
+   missing entry function) *)
+let error fmt = error_at Ast.no_loc fmt
 
 let max_inline_depth = 64
 
@@ -123,12 +127,13 @@ let resolve_region b (e : Ast.expr) =
   | Ast.Var name -> (
     match lookup b name with
     | B_region (rg, _) -> rg
-    | B_reg _ -> error "%s is not an array" name)
+    | B_reg _ -> error_at e.Ast.eloc "%s is not an array" name)
   | Ast.Const _ | Ast.Unop _ | Ast.Binop _ | Ast.Assign _ | Ast.Cond _
   | Ast.Call _ | Ast.Index _ | Ast.Deref _ | Ast.Addr_of _ | Ast.Cast _
   | Ast.Chan_recv _ ->
-    error "pointer-valued expressions are not supported in CIR \
-           (use the c2verilog backend)"
+    error_at e.Ast.eloc
+      "pointer-valued expressions are not supported in CIR \
+       (use the c2verilog backend)"
 
 let bool_of b op ~negate =
   (* Materialize a 1-bit nonzero test of [op]. *)
@@ -161,7 +166,7 @@ let rec lower_expr b (e : Ast.expr) : Cir.operand =
   | Ast.Var name -> (
     match lookup b name with
     | B_reg (r, _) -> Cir.O_reg r
-    | B_region _ -> error "array %s used as a value" name)
+    | B_region _ -> error_at e.Ast.eloc "array %s used as a value" name)
   | Ast.Unop (Ast.Log_not, a) ->
     let a_op = lower_expr b a in
     widen b (bool_of b a_op ~negate:true) ~width:int_width
@@ -172,7 +177,9 @@ let rec lower_expr b (e : Ast.expr) : Cir.operand =
       match op with
       | Ast.Neg -> Netlist.U_neg
       | Ast.Bit_not -> Netlist.U_not
-      | Ast.Log_not -> assert false
+      | Ast.Log_not ->
+        error_at e.Ast.eloc
+          "internal: !e must lower through the nonzero test, not a unary op"
     in
     emit b (Cir.I_un { op; dst; a = a_op });
     Cir.O_reg dst
@@ -200,7 +207,10 @@ let rec lower_expr b (e : Ast.expr) : Cir.operand =
       | Ast.Le -> if signed then Netlist.B_sle else Netlist.B_ule
       | Ast.Gt -> if signed then Netlist.B_slt else Netlist.B_ult
       | Ast.Ge -> if signed then Netlist.B_sle else Netlist.B_ule
-      | Ast.Log_and | Ast.Log_or -> assert false
+      | Ast.Log_and | Ast.Log_or ->
+        error_at e.Ast.eloc
+          "internal: && and || lower through lower_short_circuit, not the \
+           flat datapath"
     in
     (* Gt/Ge are realized as Lt/Le with swapped operands. *)
     let a, bop =
@@ -244,7 +254,7 @@ let rec lower_expr b (e : Ast.expr) : Cir.operand =
       finish_block b (Cir.T_jump join) join;
       Cir.O_reg dst
     end
-  | Ast.Call (name, args) -> lower_call b name args
+  | Ast.Call (name, args) -> lower_call b ~loc:e.Ast.eloc name args
   | Ast.Index (base, idx) ->
     let region = resolve_region b base in
     let addr = lower_expr b idx in
@@ -266,21 +276,25 @@ let rec lower_expr b (e : Ast.expr) : Cir.operand =
       Cir.O_reg dst
     end
   | Ast.Deref _ | Ast.Addr_of _ ->
-    error "pointer operation not supported in CIR (use c2verilog)"
+    error_at e.Ast.eloc "pointer operation not supported in CIR (use c2verilog)"
   | Ast.Chan_recv _ ->
-    error "channel operation not supported in CIR (handled by handelc)"
+    error_at e.Ast.eloc
+      "channel operation not supported in CIR (handled by handelc)"
 
 and lower_short_circuit b op x y =
+  (* dispatch on the operator once; anything else arriving here is a
+     dispatch bug in lower_expr, reported instead of crashing *)
+  let is_and =
+    match op with
+    | Ast.Log_and -> true
+    | Ast.Log_or -> false
+    | _ -> error "internal: lower_short_circuit on a non-logical operator"
+  in
   if expr_pure y then begin
     let vx = lower_expr b x and vy = lower_expr b y in
     let bx = bool_of b vx ~negate:false and by = bool_of b vy ~negate:false in
     let dst = new_reg b 1 in
-    let netop =
-      match op with
-      | Ast.Log_and -> Netlist.B_and
-      | Ast.Log_or -> Netlist.B_or
-      | _ -> assert false
-    in
+    let netop = if is_and then Netlist.B_and else Netlist.B_or in
     emit b (Cir.I_bin { op = netop; dst; a = Cir.O_reg bx; b = Cir.O_reg by });
     widen b dst ~width:int_width
   end
@@ -288,12 +302,7 @@ and lower_short_circuit b op x y =
     let dst = new_reg b int_width in
     let eval_rhs = new_block b and skip = new_block b and join = new_block b in
     let vx = lower_expr b x in
-    let bt, bf =
-      match op with
-      | Ast.Log_and -> (eval_rhs, skip)
-      | Ast.Log_or -> (skip, eval_rhs)
-      | _ -> assert false
-    in
+    let bt, bf = if is_and then (eval_rhs, skip) else (skip, eval_rhs) in
     finish_block b (Cir.T_branch { cond = vx; if_true = bt; if_false = bf })
       eval_rhs;
     let vy = lower_expr b y in
@@ -302,10 +311,7 @@ and lower_short_circuit b op x y =
     emit b (Cir.I_mov { dst; src = wide });
     finish_block b (Cir.T_jump join) skip;
     let short_value =
-      match op with
-      | Ast.Log_and -> Bitvec.zero int_width
-      | Ast.Log_or -> Bitvec.one int_width
-      | _ -> assert false
+      if is_and then Bitvec.zero int_width else Bitvec.one int_width
     in
     emit b (Cir.I_mov { dst; src = Cir.O_imm short_value });
     finish_block b (Cir.T_jump join) join;
@@ -320,26 +326,28 @@ and lower_assign b lhs rhs =
     | B_reg (r, _) ->
       emit b (Cir.I_mov { dst = r; src = value });
       Cir.O_reg r
-    | B_region _ -> error "cannot assign to array %s" name)
+    | B_region _ -> error_at lhs.Ast.eloc "cannot assign to array %s" name)
   | Ast.Index (base, idx) ->
     let region = resolve_region b base in
     let addr = lower_expr b idx in
     emit b (Cir.I_store { region; addr; value });
     value
-  | Ast.Deref _ -> error "pointer store not supported in CIR (use c2verilog)"
+  | Ast.Deref _ ->
+    error_at lhs.Ast.eloc "pointer store not supported in CIR (use c2verilog)"
   | Ast.Const _ | Ast.Unop _ | Ast.Binop _ | Ast.Assign _ | Ast.Cond _
   | Ast.Call _ | Ast.Addr_of _ | Ast.Cast _ | Ast.Chan_recv _ ->
-    error "assignment to non-lvalue"
+    error_at lhs.Ast.eloc "assignment to non-lvalue"
 
-and lower_call b name args =
+and lower_call b ~loc name args =
   let func =
     match Ast.find_func b.program name with
     | Some f -> f
-    | None -> error "call to undefined function %s" name
+    | None -> error_at loc "call to undefined function %s" name
   in
   b.depth <- b.depth + 1;
   if b.depth > max_inline_depth then
-    error "inlining depth exceeded: %s is recursive (use c2verilog)" name;
+    error_at loc "inlining depth exceeded: %s is recursive (use c2verilog)"
+      name;
   let frame = Hashtbl.create 8 in
   List.iter2
     (fun (ty, pname) arg ->
@@ -455,13 +463,13 @@ and lower_stmt b (st : Ast.stmt) =
       finish_block b (Cir.T_jump exit_block) dead)
   | Ast.Break -> (
     match b.loop_stack with
-    | [] -> error "break outside loop"
+    | [] -> error_at st.Ast.sloc "break outside loop"
     | (_, exit_b) :: _ ->
       let dead = new_block b in
       finish_block b (Cir.T_jump exit_b) dead)
   | Ast.Continue -> (
     match b.loop_stack with
-    | [] -> error "continue outside loop"
+    | [] -> error_at st.Ast.sloc "continue outside loop"
     | (cont_b, _) :: _ ->
       let dead = new_block b in
       finish_block b (Cir.T_jump cont_b) dead)
@@ -471,13 +479,14 @@ and lower_stmt b (st : Ast.stmt) =
     let start_index = List.length b.pending in
     lower_block b body;
     if b.current <> start_block then
-      error "constrain body must be straight-line code";
+      error_at st.Ast.sloc "constrain body must be straight-line code";
     let end_index = List.length b.pending - 1 in
     if end_index >= start_index then
       b.constraints <-
         (start_block, start_index, end_index, min_c, max_c) :: b.constraints
   | Ast.Par _ | Ast.Chan_send _ ->
-    error "par/channels not representable in CIR (handled by handelc)"
+    error_at st.Ast.sloc
+      "par/channels not representable in CIR (handled by handelc)"
   | Ast.Delay -> () (* a scheduling hint with no sequential meaning *)
 
 and lower_block b body =

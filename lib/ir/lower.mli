@@ -11,7 +11,10 @@
     comparisons produce 1-bit values immediately widened by an [I_cast];
     locals without initializers read as zero. *)
 
-exception Error of string
+exception Error of string * Ast.loc
+(** The location is the AST node that could not be lowered ([Ast.no_loc]
+    when the failure has no single source point, e.g. a missing entry
+    function), so drivers can print [file:line:col] diagnostics. *)
 
 val max_inline_depth : int
 

@@ -120,7 +120,8 @@ exception Verification_failed of string
 val run : pipeline -> Ast.program -> entry:string -> Lower.result * trace
 (** Apply the program passes, lower the entry function, then apply the
     CIR passes; the returned {!Lower.result} carries the final function.
-    @raise Lower.Error as {!Lower.lower_program} does.
+    @raise Lower.Error as {!Lower.lower_program} does — the payload
+    carries the offending AST location for [file:line:col] diagnostics.
     @raise Verification_failed under [options.verify] on divergence. *)
 
 val run_program_passes :

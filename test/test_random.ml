@@ -342,9 +342,126 @@ let prop_simplify_idempotent =
           "simplify is not idempotent on:\n%s\nfirst:\n%s\nsecond:\n%s" src
           (Cir.to_string once) (Cir.to_string again))
 
+(* --- concurrent programs: par blocks and rendezvous channels --- *)
+
+(* Each generated program has two par arms over two shared globals and one
+   channel.  The clean shape partitions the state: arm 0 owns g0 and the
+   sending end, arm 1 owns g1 and the receiving end, with matched
+   send/recv counts (straight-line arms with matched counts cannot
+   deadlock).  The racy shape additionally lets arm 1 touch g0, which is
+   a structural race the static checker must flag. *)
+let gen_list n gen =
+  let rec go n acc =
+    if n = 0 then return (List.rev acc) else gen >>= fun x -> go (n - 1) (x :: acc)
+  in
+  go n []
+
+let rec interleave xs ys =
+  match (xs, ys) with
+  | [], r | r, [] -> r
+  | x :: xs, y :: ys -> x :: y :: interleave xs ys
+
+let gen_par_program : (bool * string) t =
+  bool >>= fun racy ->
+  int_range 1 3 >>= fun msgs ->
+  let compute owned =
+    map2
+      (fun c k -> Printf.sprintf "%s = (%s + %d) * %d;" owned owned c k)
+      (int_range (-9) 9) (int_range 1 4)
+  in
+  int_range 1 3 >>= fun n0 ->
+  int_range 1 3 >>= fun n1 ->
+  gen_list n0 (compute "g0") >>= fun c0 ->
+  gen_list n1 (compute "g1") >>= fun c1 ->
+  gen_list msgs
+    (map (fun k -> Printf.sprintf "send(ch, a + %d);" k) (int_range 0 9))
+  >>= fun sends ->
+  (* recv is a statement form (bare RHS), so bind it before folding *)
+  let recvs =
+    List.init msgs (fun i ->
+        Printf.sprintf "int m%d = recv(ch); g1 = g1 + m%d;" i i)
+  in
+  int_range 0 2 >>= fun racy_shape ->
+  let race =
+    if not racy then []
+    else
+      match racy_shape with
+      | 0 -> [ "g0 = g0 + 1;" ] (* write/write with arm 0 *)
+      | 1 -> [ "g1 = g1 + g0;" ] (* read/write with arm 0's writes *)
+      | _ -> [ "g0 = b;" ]
+  in
+  let arm0 = interleave c0 sends in
+  let arm1 = interleave c1 recvs @ race in
+  let body arm = String.concat " " arm in
+  return
+    ( racy,
+      Printf.sprintf
+        {|
+        chan int ch;
+        int g0;
+        int g1;
+        int f(int a, int b) {
+          par {
+            { %s }
+            { %s }
+          }
+          return (g0 + 3 * g1) ^ b;
+        }
+        |}
+        (body arm0) (body arm1) )
+
+let arb_par_program =
+  QCheck.make ~print:(fun (racy, s) ->
+      Printf.sprintf "(* racy=%b *)%s" racy s)
+    gen_par_program
+
+(* The dynamic cross-check of the static concurrency checker: perturbing
+   the interpreter's per-round thread visit order must not change any
+   observable of a checker-clean program, while programs constructed with
+   a structural race must be flagged (so a divergence there is expected
+   and excluded, never silently tolerated). *)
+let prop_checker_clean_is_schedule_deterministic =
+  QCheck.Test.make
+    ~name:"checker-clean par programs are deterministic under arm-order shuffles"
+    ~count:120
+    (QCheck.pair arb_par_program
+       (QCheck.pair (QCheck.int_range (-20) 20) (QCheck.int_range (-20) 20)))
+    (fun ((racy, src), (a, b)) ->
+      let program = Typecheck.parse_and_check src in
+      let diags = Conc_check.check_program ~dialect:Dialect.handelc program in
+      if racy then
+        if diags = [] then
+          QCheck.Test.fail_reportf
+            "checker missed a constructed race in:\n%s" src
+        else true
+      else if diags <> [] then
+        QCheck.Test.fail_reportf
+          "checker flagged a race-free program:\n%s\nfirst diagnostic: %s" src
+          (Conc_check.render (List.hd diags))
+      else
+        let observe sched_seed =
+          let o =
+            Interp.run ?sched_seed program ~entry:"f" ~args:(args_of (a, b))
+          in
+          ( Option.map Bitvec.to_int o.Interp.return_value,
+            Bitvec.to_int (Interp.read_global o "g0"),
+            Bitvec.to_int (Interp.read_global o "g1") )
+        in
+        let reference = observe None in
+        List.for_all
+          (fun seed ->
+            if observe (Some seed) = reference then true
+            else
+              QCheck.Test.fail_reportf
+                "schedule divergence under seed %d on a checker-clean \
+                 program:\n%s\ninputs %d,%d"
+                seed src a b)
+          [ 1; 2; 3; 5; 8; 13 ])
+
 let suite =
   ( "random-differential",
     [ QCheck_alcotest.to_alcotest prop_simplify_idempotent;
       QCheck_alcotest.to_alcotest prop_all_layers_agree;
       QCheck_alcotest.to_alcotest prop_cones_agrees;
-      QCheck_alcotest.to_alcotest prop_event_driven_equals_full_sweep ] )
+      QCheck_alcotest.to_alcotest prop_event_driven_equals_full_sweep;
+      QCheck_alcotest.to_alcotest prop_checker_clean_is_schedule_deterministic ] )
