@@ -9,6 +9,13 @@ let kernels_for_ilp =
     Workloads.matmul; Workloads.bsort; Workloads.crc; Workloads.checksum;
     Workloads.histogram; Workloads.isqrt_newton; Workloads.transpose ]
 
+(* Compile through the driver, failing loudly — the experiments only push
+   workloads at backends whose dialect accepts them. *)
+let driver_compile session backend =
+  match Driver.compile session backend with
+  | Ok design -> design
+  | Error e -> failwith (Driver.render_error e)
+
 let lowered (w : Workloads.t) =
   let program = Workloads.parse w in
   let l, _ = Passes.lower_simplify program ~entry:w.Workloads.entry in
@@ -189,8 +196,8 @@ let pipelining () =
 (* ---------------------------------------------------------------- E3 -- *)
 
 let timing_backends =
-  [ Chls.Transmogrifier_backend; Chls.Bachc_backend; Chls.Handelc_backend;
-    Chls.Systemc_backend; Chls.C2verilog_backend; Chls.Cash_backend ]
+  [ (Registry.get "transmogrifier"); (Registry.get "bachc"); (Registry.get "handelc");
+    (Registry.get "systemc"); (Registry.get "c2verilog"); (Registry.get "cash") ]
 
 let timing_schemes () =
   Tables.section "E3"
@@ -204,15 +211,18 @@ let timing_schemes () =
         (String.concat ","
            (List.map string_of_int (List.hd w.Workloads.arg_sets)));
       let widths = [ 15; 9; 9; 12; 11; 24 ] in
+      (* one driver session per workload: the frontend runs once for the
+         whole backend sweep and designs are content-cached *)
+      let session =
+        Driver.create ~entry:w.Workloads.entry w.Workloads.source
+      in
       let rows =
         List.filter_map
-          (fun backend ->
-            let program = Workloads.parse w in
-            if not (Chls.accepts backend program) then None
-            else begin
-              let design =
-                Chls.compile_program backend program ~entry:w.Workloads.entry
-              in
+          (fun (backend, result) ->
+            match result with
+            | Error _ -> None
+            | Ok (design : Design.t) ->
+              let backend = Registry.name backend in
               let pipeline =
                 match design.Design.pass_trace with
                 | [] -> "(source only)"
@@ -241,11 +251,8 @@ let timing_schemes () =
                 | Some a -> Tables.f0 a.Area.total_area
                 | None -> "-"
               in
-              Some
-                [ Chls.backend_name backend; cycles; period; wall; area;
-                  pipeline ]
-            end)
-          timing_backends
+              Some [ backend; cycles; period; wall; area; pipeline ])
+          (Driver.compile_all ~backends:timing_backends session)
       in
       Tables.table widths
         [ "backend"; "cycles"; "period"; "wall time"; "area (GE)";
@@ -275,7 +282,7 @@ let recoding () =
         let args = List.hd w.Workloads.arg_sets in
         let measure p =
           let design =
-            Chls.compile_program Chls.Transmogrifier_backend p
+            Chls.compile_program (Registry.get "transmogrifier") p
               ~entry:w.Workloads.entry
           in
           let r = design.Design.run (Design.int_args args) in
@@ -300,7 +307,7 @@ let recoding () =
         let args = List.hd w.Workloads.arg_sets in
         let measure p =
           let design =
-            Chls.compile_program Chls.Handelc_backend p ~entry:w.Workloads.entry
+            Chls.compile_program (Registry.get "handelc") p ~entry:w.Workloads.entry
           in
           let r = design.Design.run (Design.int_args args) in
           (Option.get r.Design.cycles, Option.get design.Design.clock_period)
@@ -350,8 +357,8 @@ let cones_area () =
   let rows =
     List.map
       (fun n ->
-        let program = Typecheck.parse_and_check (sum_of_products n) in
-        let design = Chls.compile_program Chls.Cones_backend program ~entry:"f" in
+        let session = Driver.create ~entry:"f" (sum_of_products n) in
+        let design = driver_compile session (Registry.get "cones") in
         match design.Design.area () with
         | Some a ->
           [ Tables.i n; Tables.i a.Area.num_nodes;
@@ -481,19 +488,21 @@ let async_vs_sync () =
   let rows =
     List.map
       (fun (w : Workloads.t) ->
-        let program = Workloads.parse w in
+        let session =
+          Driver.create ~entry:w.Workloads.entry w.Workloads.source
+        in
         let args = List.hd w.Workloads.arg_sets in
-        let async = Chls.compile_program Chls.Cash_backend program ~entry:w.Workloads.entry in
+        let async = driver_compile session (Registry.get "cash") in
         let ra = async.Design.run (Design.int_args args) in
         let async_time = Option.get ra.Design.time_units in
         let sync_time backend =
-          let d = Chls.compile_program backend program ~entry:w.Workloads.entry in
+          let d = driver_compile session backend in
           let r = d.Design.run (Design.int_args args) in
           float_of_int (Option.get r.Design.cycles)
           *. Option.get d.Design.clock_period
         in
-        let tm = sync_time Chls.Transmogrifier_backend in
-        let bach = sync_time Chls.Bachc_backend in
+        let tm = sync_time (Registry.get "transmogrifier") in
+        let bach = sync_time (Registry.get "bachc") in
         [ w.Workloads.name; Tables.f0 async_time; Tables.f0 tm;
           Tables.f0 bach; Tables.f2 (tm /. async_time);
           Tables.f2 (bach /. async_time) ])
@@ -690,9 +699,9 @@ let memory_model () =
   in
   Tables.table widths
     [ "program style"; "backend"; "cycles"; "clock"; "wall time" ]
-    [ measure "arrays (2 small RAMs)" Chls.Bachc_backend array_style;
-      measure "arrays (unified RAM)" Chls.C2verilog_backend array_style;
-      measure "pointers (unified RAM)" Chls.C2verilog_backend pointer_style ];
+    [ measure "arrays (2 small RAMs)" (Registry.get "bachc") array_style;
+      measure "arrays (unified RAM)" (Registry.get "c2verilog") array_style;
+      measure "pointers (unified RAM)" (Registry.get "c2verilog") pointer_style ];
   (* points-to analysis: when is banking recoverable? *)
   let r = Pointer.analyze (Typecheck.parse_and_check pointer_style) in
   Printf.printf

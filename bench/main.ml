@@ -86,5 +86,7 @@ let () =
      deterministic (only the wall-time column is machine-dependent) and it
      doubles as a differential check of the event-driven evaluator *)
   Neteval_bench.run_all ();
+  (* the driver sweep's cache counters are likewise deterministic *)
+  Driver_bench.run_all ();
   if not skip_perf then compile_pipeline_benchmarks ()
   else print_endline "\n(E10 skipped: --skip-perf)"

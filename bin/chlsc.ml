@@ -160,15 +160,17 @@ let backend_arg =
   let parse s =
     match Chls.backend_of_name s with
     | Some b -> Ok b
-    | None -> Error (`Msg (Printf.sprintf "unknown backend %S" s))
+    | None ->
+      Error
+        (`Msg
+          (Printf.sprintf "unknown backend %S; registered: %s" s
+             (Registry.catalog ())))
   in
   let print fmt b = Format.pp_print_string fmt (Chls.backend_name b) in
   Arg.(value
-       & opt (conv (parse, print)) Chls.Bachc_backend
+       & opt (conv (parse, print)) (Registry.get "bachc")
        & info [ "b"; "backend" ] ~docv:"BACKEND"
-           ~doc:
-             "Synthesis scheme: cones | hardwarec | transmogrifier | systemc \
-              | c2verilog | cyber | handelc | specc | bachc | cash")
+           ~doc:("Synthesis scheme: " ^ Registry.catalog ()))
 
 let verilog_arg =
   Arg.(value & opt (some string) None & info [ "verilog" ] ~docv:"OUT.v"
@@ -382,12 +384,6 @@ let compile_cmd =
   let run file entry backend args verilog area stats trace_passes dump_ir
       verify_passes vcd vcd_netlist profile metrics_json =
     let source = read_file file in
-    let program = or_located_error file (fun () -> Chls.parse source) in
-    (match Dialect.check (Chls.dialect_of backend) program with
-    | [] -> ()
-    | { Dialect.rule; where } :: _ ->
-      Printf.eprintf "error: %s (in %s)\n" rule where;
-      exit 1);
     let verify =
       if not verify_passes then []
       else
@@ -400,19 +396,18 @@ let compile_cmd =
     in
     Passes.set_options
       { Passes.default_options with Passes.verify; dump_after = dump_ir };
+    (* the driver owns parse-once + the content-hashed design cache and
+       turns every rejection into a typed, located diagnostic *)
+    let session = Driver.create ~entry source in
     let design =
-      or_located_error file (fun () ->
-          match Chls.compile_program backend program ~entry with
-          | design -> design
-          | exception Passes.Verification_failed msg ->
-            Printf.eprintf "PASS VERIFICATION FAILED: %s\n" msg;
-            exit 2
-          | exception Conc_check.Check_failed ds ->
-            (* the conc-check pipeline pass rejected the program *)
-            List.iter
-              (fun d -> Printf.eprintf "%s\n" (Conc_check.render ~file d))
-              ds;
-            exit 1)
+      match Driver.compile session backend with
+      | Ok design -> design
+      | Error (Driver.Verification_error { message; _ }) ->
+        Printf.eprintf "PASS VERIFICATION FAILED: %s\n" message;
+        exit 2
+      | Error e ->
+        Printf.eprintf "%s\n" (Driver.render_error ~file e);
+        exit 1
     in
     let m = Metrics.create () in
     Metrics.set_string m "schema" "chls.metrics/1";
@@ -428,6 +423,9 @@ let compile_cmd =
     let write_metrics () =
       match metrics_json with
       | Some path ->
+        (* fold in the driver's timings and cache counters as they stand
+           at write time *)
+        Metrics.merge ~into:m (Driver.metrics session);
         Metrics.write_file m path;
         Printf.printf "wrote %s\n" path
       | None -> ()
@@ -512,8 +510,14 @@ let compile_cmd =
           | Some c, _ -> Printf.sprintf " in %d cycles" c
           | None, Some t -> Printf.sprintf " in %.0f time units" t
           | None, None -> "");
-        (* always cross-check the oracle *)
-        let expected = Chls.reference source ~entry ~args in
+        (* always cross-check the oracle (on the session's parsed program) *)
+        let expected =
+          match Driver.reference session ~args with
+          | Ok v -> v
+          | Error e ->
+            Printf.eprintf "%s\n" (Driver.render_error ~file e);
+            exit 1
+        in
         let agrees =
           Option.map Bitvec.to_int r.Design.result = Some expected
         in
@@ -555,6 +559,244 @@ let compile_cmd =
           $ verilog_arg $ area_flag $ stats_flag $ trace_passes_flag
           $ dump_ir_arg $ verify_passes_flag $ vcd_arg $ vcd_netlist_arg
           $ profile_flag $ metrics_json_arg)
+
+(* --- chlsc compare: one source through every registered backend --- *)
+
+(* Fixed-width table, widths computed from the data (no truncation); the
+   last column is left unpadded. *)
+let print_table header rows =
+  let widths =
+    List.fold_left
+      (fun ws row -> List.map2 (fun w c -> max w (String.length c)) ws row)
+      (List.map String.length header)
+      rows
+  in
+  let emit row =
+    let n = List.length row in
+    List.iteri
+      (fun i (w, c) ->
+        if i = n - 1 then print_string c
+        else print_string (c ^ String.make (w - String.length c + 2) ' '))
+      (List.combine widths row);
+    print_newline ()
+  in
+  emit header;
+  print_endline
+    (String.make
+       (List.fold_left ( + ) 0 widths + (2 * (List.length widths - 1)))
+       '-');
+  List.iter emit rows
+
+let compare_cmd =
+  let doc =
+    "Compile the program through every registered backend in one \
+     invocation (the frontend runs once, designs are content-cached), run \
+     the shared argument vectors and print the cross-backend table"
+  in
+  let args_all =
+    Arg.(value & opt_all string []
+         & info [ "a"; "args" ] ~docv:"N,N,..."
+             ~doc:
+               "Shared argument vector (repeatable: every accepting \
+                backend runs each vector, checked against the software \
+                oracle)")
+  in
+  let backends_arg =
+    Arg.(value & opt (some string) None
+         & info [ "backends" ] ~docv:"B,B,..."
+             ~doc:
+               "Restrict the comparison to these comma-separated backends \
+                (default: all registered)")
+  in
+  let run file entry vec_strings backends_filter metrics_json =
+    let source = read_file file in
+    let session = Driver.create ~entry source in
+    let backends =
+      match backends_filter with
+      | None -> Registry.all ()
+      | Some s ->
+        List.map
+          (fun n ->
+            match Registry.find (String.trim n) with
+            | Some b -> b
+            | None ->
+              Printf.eprintf "unknown backend %S; registered: %s\n" n
+                (Registry.catalog ());
+              exit 1)
+          (String.split_on_char ',' s)
+    in
+    let vectors = List.map parse_args_list vec_strings in
+    (match Driver.program session with
+    | Ok _ -> ()
+    | Error e ->
+      Printf.eprintf "%s\n" (Driver.render_error ~file e);
+      exit 1);
+    let expected =
+      List.map
+        (fun args ->
+          match Driver.reference session ~args with
+          | Ok v -> Some v
+          | Error _ -> None)
+        vectors
+    in
+    let m = Metrics.create () in
+    Metrics.set_string m "schema" "chls.metrics/1";
+    Metrics.set_string m "compare.file" file;
+    Metrics.set_string m "compare.entry" entry;
+    Metrics.set_int m "compare.vectors" (List.length vectors);
+    let mismatch = ref false and compiled = ref 0 in
+    let join cells = if cells = [] then "-" else String.concat "," cells in
+    let rows =
+      List.map
+        (fun (b, result) ->
+          let name = Registry.name b in
+          let key k = Printf.sprintf "compare.backends.%s.%s" name k in
+          match result with
+          | Error e ->
+            let status, short =
+              match e with
+              | Driver.No_c_frontend _ -> ("no-c-frontend", "no C frontend")
+              | Driver.Dialect_reject
+                  { violations = { Dialect.rule; _ } :: _; _ } ->
+                ("dialect-reject", "rejects: " ^ rule)
+              | Driver.Dialect_reject _ -> ("dialect-reject", "rejects")
+              | _ -> ("error", "error")
+            in
+            Metrics.set_string m (key "status") status;
+            Metrics.set_string m (key "detail") (Driver.render_error e);
+            [ name; short; "-"; "-"; "-"; "-"; "-" ]
+          | Ok design ->
+            incr compiled;
+            Metrics.set_string m (key "status") "ok";
+            let outcomes =
+              List.map
+                (fun args ->
+                  match design.Design.run (Design.int_args args) with
+                  | r -> `Ok r
+                  | exception Rtlsim.Timeout _ -> `Timeout
+                  | exception Asim.Timeout _ -> `Timeout)
+                vectors
+            in
+            let results =
+              List.map
+                (function
+                  | `Ok r ->
+                    Option.map Bitvec.to_int r.Design.result
+                  | `Timeout -> None)
+                outcomes
+            in
+            let agrees =
+              vectors <> []
+              && List.for_all2
+                   (fun observed exp ->
+                     exp <> None && observed = exp)
+                   results expected
+            in
+            if vectors <> [] && not agrees then mismatch := true;
+            Metrics.set m (key "results")
+              (Metrics.List
+                 (List.map
+                    (function
+                      | Some v -> Metrics.Int v
+                      | None -> Metrics.Null)
+                    results));
+            if vectors <> [] then
+              Metrics.set_bool m (key "agrees") agrees;
+            let cycles_cell =
+              join
+                (List.filter_map
+                   (function
+                     | `Ok r ->
+                       Option.map string_of_int r.Design.cycles
+                     | `Timeout -> Some "t/o")
+                   outcomes)
+            in
+            let wall_cell =
+              join
+                (List.filter_map
+                   (function
+                     | `Ok r ->
+                       Option.map
+                         (fun t -> Printf.sprintf "%.0f" t)
+                         (Design.latency_estimate design r)
+                     | `Timeout -> None)
+                   outcomes)
+            in
+            (match outcomes with
+            | `Ok r :: _ ->
+              (match r.Design.cycles with
+              | Some c -> Metrics.set_int m (key "cycles") c
+              | None -> ());
+              (match Design.latency_estimate design r with
+              | Some t -> Metrics.set_fixed m (key "wall_time") ~decimals:1 t
+              | None -> ())
+            | _ -> ());
+            let area_cell =
+              match design.Design.area () with
+              | Some a ->
+                Metrics.set_fixed m (key "area") ~decimals:0
+                  a.Area.total_area;
+                Printf.sprintf "%.0f" a.Area.total_area
+              | None -> "-"
+            in
+            (match design.Design.clock_period with
+            | Some p ->
+              Metrics.set_fixed m (key "clock_period") ~decimals:1 p
+            | None -> ());
+            [ name;
+              "ok";
+              join
+                (List.map
+                   (function
+                     | Some v -> string_of_int v
+                     | None -> "t/o")
+                   results);
+              cycles_cell;
+              wall_cell;
+              area_cell;
+              (if vectors = [] then "-"
+               else if agrees then "agree"
+               else "MISMATCH") ])
+        (Driver.compile_all ~backends session)
+    in
+    Printf.printf "%s -e %s%s\n\n" file entry
+      (match vectors with
+      | [] -> " (no --args: compile only)"
+      | vs ->
+        Printf.sprintf ", args = %s"
+          (String.concat " | "
+             (List.map
+                (fun v -> String.concat "," (List.map string_of_int v))
+                vs)));
+    print_table
+      [ "backend"; "status"; "result"; "cycles"; "wall"; "area"; "oracle" ]
+      rows;
+    Metrics.merge ~into:m (Driver.metrics session);
+    let hits =
+      match Metrics.find m "driver.cache.hits" with
+      | Some (Metrics.Int n) -> n
+      | _ -> 0
+    in
+    Printf.printf
+      "\n%d backend(s): %d compiled, %d rejected; frontend parsed once \
+       (%d cache hit(s))\n"
+      (List.length rows)
+      !compiled
+      (List.length rows - !compiled)
+      hits;
+    (match metrics_json with
+    | Some path ->
+      Metrics.write_file m path;
+      Printf.printf "wrote %s\n" path
+    | None -> ());
+    if !mismatch then begin
+      Printf.eprintf "MISMATCH vs software semantics (see table)\n";
+      exit 2
+    end
+  in
+  Cmd.v (Cmd.info "compare" ~doc)
+    Term.(const run $ file_arg $ entry_arg $ args_all $ backends_arg
+          $ metrics_json_arg)
 
 let analyze_cmd =
   let doc =
@@ -635,4 +877,5 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ table1_cmd; check_cmd; run_cmd; compile_cmd; analyze_cmd ]))
+          [ table1_cmd; check_cmd; run_cmd; compile_cmd; compare_cmd;
+            analyze_cmd ]))

@@ -57,7 +57,7 @@ let () =
   | exception Pipeline.Irregular reason ->
     Printf.printf "Loop not pipelineable: %s\n" reason);
   (* dump RTL *)
-  let design = Chls.compile_program Chls.Bachc_backend program ~entry:"fir" in
+  let design = Chls.compile_program (Registry.get "bachc") program ~entry:"fir" in
   match design.Design.verilog () with
   | Some v ->
     Out_channel.with_open_text "fir.v" (fun oc -> output_string oc v);

@@ -1,0 +1,5 @@
+/* Euclid's algorithm: the running example of the survey's comparisons. */
+int gcd(int a, int b) {
+  while (b != 0) { int t = b; b = a % b; a = t; }
+  return a;
+}

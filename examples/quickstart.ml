@@ -54,9 +54,9 @@ let () =
       in
       Printf.printf "  matches software semantics: %b\n\n"
         (List.for_all (fun c -> c.Chls.agrees) checks))
-    [ Chls.Transmogrifier_backend; Chls.Handelc_backend; Chls.Cash_backend ];
+    [ (Registry.get "transmogrifier"); (Registry.get "handelc"); (Registry.get "cash") ];
   (* 3. look at generated RTL *)
-  let design = Chls.compile Chls.Bachc_backend source ~entry:"isqrt" in
+  let design = Chls.compile (Registry.get "bachc") source ~entry:"isqrt" in
   match design.Design.verilog () with
   | Some v ->
     let lines = String.split_on_char '\n' v in

@@ -77,7 +77,7 @@ let () =
   print_endline "A streaming pipeline over rendezvous channels (Handel-C)\n";
   let n = 32 in
   let src = source n in
-  let design = Chls.compile Chls.Handelc_backend src ~entry:"run" in
+  let design = Chls.compile (Registry.get "handelc") src ~entry:"run" in
   List.iter
     (fun threshold ->
       let r = design.Design.run (Design.int_args [ threshold ]) in

@@ -22,12 +22,12 @@ let () =
       (Option.get (Design.latency_estimate design r))
   in
   print_endline "Transmogrifier C (cycle per loop iteration):";
-  measure "as written" Chls.Transmogrifier_backend program;
-  measure "after full loop unrolling" Chls.Transmogrifier_backend
+  measure "as written" (Registry.get "transmogrifier") program;
+  measure "after full loop unrolling" (Registry.get "transmogrifier")
     (Loopopt.unroll_all_program program);
   print_endline "Handel-C (cycle per assignment):";
-  measure "as written" Chls.Handelc_backend program;
-  measure "after fusing temporaries" Chls.Handelc_backend
+  measure "as written" (Registry.get "handelc") program;
+  measure "after fusing temporaries" (Registry.get "handelc")
     (Loopopt.fuse_program program);
   print_endline
     "\nBoth recodings change the *source* to change the timing — the \

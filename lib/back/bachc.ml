@@ -54,3 +54,17 @@ let compile ?(resources = Schedule.default_allocation)
 (** Cyber/BDL rides the same scheduler (restricted C with extensions; no
     pointers or recursion), per its Table 1 row. *)
 let compile_cyber = compile ~resources:Schedule.default_allocation
+
+let descriptor =
+  Backend.make ~name:"bachc" ~aliases:[ "bach" ] ~pipeline:(Some pipeline)
+    ~description:"untimed semantics: resource-constrained scheduling \
+                  decides the cycles"
+    ~dialect:Dialect.bachc
+    (fun program ~entry -> compile program ~entry)
+
+(* Cyber/BDL rides the same scheduler but is a distinct surveyed
+   language: its own Table 1 row, dialect restrictions and registration. *)
+let cyber_descriptor =
+  Backend.make ~name:"cyber" ~aliases:[ "bdl" ] ~pipeline:(Some pipeline)
+    ~description:"restricted C (BDL) on the Bach C scheduler"
+    ~dialect:Dialect.cyber compile_cyber

@@ -18,3 +18,8 @@ val compile :
 val compile_cyber : Ast.program -> entry:string -> Design.t
 (** Cyber/BDL rides the same scheduler (restricted C, no pointers or
     recursion), per its Table 1 row. *)
+
+val descriptor : Backend.descriptor
+
+val cyber_descriptor : Backend.descriptor
+(** Cyber/BDL: same scheduler, distinct dialect and registration. *)

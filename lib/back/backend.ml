@@ -1,0 +1,26 @@
+(* Backend self-description records.  See backend.mli for the story:
+   descriptors replace the closed variant the facade used to dispatch
+   on; lib/core/registry.ml collects them. *)
+
+type capabilities = {
+  c_frontend : bool;
+  constraint_reports : bool;
+}
+
+let default_capabilities = { c_frontend = true; constraint_reports = false }
+
+type descriptor = {
+  name : string;
+  aliases : string list;
+  description : string;
+  dialect : Dialect.t;
+  pipeline : Passes.pipeline option;
+  compile : Ast.program -> entry:string -> Design.t;
+  capabilities : capabilities;
+}
+
+exception No_c_frontend of string
+
+let make ?(aliases = []) ?(capabilities = default_capabilities)
+    ?(pipeline = None) ~name ~description ~dialect compile =
+  { name; aliases; description; dialect; pipeline; compile; capabilities }

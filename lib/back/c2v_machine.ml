@@ -251,3 +251,10 @@ let compile (program : Ast.program) ~entry : Design.t =
         ("pointers fully partitionable",
          string_of_bool (Pointer.fully_partitionable pointer_info)) ];
     pass_trace }
+
+let descriptor =
+  Backend.make ~name:"c2verilog" ~aliases:[ "c2v" ]
+    ~pipeline:(Some pipeline)
+    ~description:"full ANSI C on a synthesized stack machine with one \
+                  unified memory"
+    ~dialect:Dialect.c2verilog compile

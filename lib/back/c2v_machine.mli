@@ -32,3 +32,5 @@ val pipeline : Passes.pipeline
 val compile : Ast.program -> entry:string -> Design.t
 (** The full backend: compile to stack code, wrap the machine; the
     Verilog view is the generated processor (see {!C2v_verilog}). *)
+
+val descriptor : Backend.descriptor

@@ -72,3 +72,9 @@ let compile ?timing ?handshake (program : Ast.program) ~entry : Design.t =
         ("steers (eta)", string_of_int stats.Dfg.steers);
         ("memory ops", string_of_int stats.Dfg.memory_ops) ];
     pass_trace }
+
+let descriptor =
+  Backend.make ~name:"cash" ~pipeline:(Some pipeline)
+    ~description:"asynchronous Pegasus-style dataflow circuit, no clock"
+    ~dialect:Dialect.cash
+    (fun program ~entry -> compile program ~entry)

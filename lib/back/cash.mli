@@ -14,3 +14,5 @@ val compile :
 (** [timing] overrides the operator latency model wholesale; [handshake]
     (used only when [timing] is absent) adjusts the per-token overhead of
     the default width-aware model — the knob ablations sweep. *)
+
+val descriptor : Backend.descriptor

@@ -455,3 +455,10 @@ let compile (program : Ast.program) ~entry : Design.t =
       [ ("nodes", string_of_int report.Area.num_nodes);
         ("critical path", Printf.sprintf "%.1f" report.Area.critical_path) ];
     pass_trace }
+
+let descriptor =
+  Backend.make ~name:"cones" ~pipeline:(Some pipeline)
+    ~description:
+      "symbolic execution of the entry function into combinational \
+       two-level logic"
+    ~dialect:Dialect.cones compile

@@ -15,3 +15,5 @@ val synthesize : Ast.program -> entry:string -> Netlist.t
     outputs.  @raise Unsupported / Failure outside the Cones dialect. *)
 
 val compile : Ast.program -> entry:string -> Design.t
+
+val descriptor : Backend.descriptor

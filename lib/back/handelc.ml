@@ -730,3 +730,10 @@ let compile_fused (program : Ast.program) ~entry : Design.t =
   compile_with_policy ~backend_name:"handelc" ~dialect
     ~policy:`One_per_assignment
     ~program_passes:[ Passes.fuse_temps_pass ] program ~entry
+
+let descriptor =
+  Backend.make ~name:"handelc" ~aliases:[ "handel-c" ]
+    ~pipeline:(Some pipeline)
+    ~description:"one cycle per assignment, par/channels on the statement \
+                  machine"
+    ~dialect:Dialect.handelc compile

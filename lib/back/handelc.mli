@@ -58,3 +58,5 @@ val compile : Ast.program -> entry:string -> Design.t
 
 val compile_fused : Ast.program -> entry:string -> Design.t
 (** E4's recoding: fuse single-use temporaries first. *)
+
+val descriptor : Backend.descriptor

@@ -141,3 +141,39 @@ let compile ?(resources = Schedule.default_allocation)
   in
   ( design,
     { statuses; exploration = !exploration; chosen_allocation = fst !chosen } )
+
+(* The exploration report used to be discarded (the facade kept only the
+   design); surface it through the design stats so the registry path,
+   [chlsc compile --trace-passes] and [chlsc compare] can show the
+   constraint-exploration trail. *)
+let stats_of_report (r : report) =
+  let met =
+    if List.for_all (fun s -> s.Constrain.satisfied) r.statuses then "met"
+    else "violated"
+  in
+  ("constraint-status",
+   Printf.sprintf "%d constraint(s) %s" (List.length r.statuses) met)
+  ::
+  (match r.exploration with
+  | [] -> []
+  | trail ->
+    [ ("constraint-exploration",
+       String.concat "; "
+         (List.map
+            (fun (alloc, steps, ok) ->
+              Printf.sprintf "%s: %d steps%s" alloc steps
+                (if ok then "" else " (violated)"))
+            trail)) ])
+
+let compile_reporting program ~entry =
+  let design, report = compile program ~entry in
+  { design with Design.stats = design.Design.stats @ stats_of_report report }
+
+let descriptor =
+  Backend.make ~name:"hardwarec"
+    ~capabilities:{ Backend.default_capabilities with
+                    Backend.constraint_reports = true }
+    ~pipeline:(Some pipeline)
+    ~description:"scheduled FSMD exploring allocations under [constrain] \
+                  timing bounds"
+    ~dialect:Dialect.hardwarec compile_reporting

@@ -23,3 +23,10 @@ val compile :
   ?resources:Schedule.resources -> Ast.program -> entry:string ->
   Design.t * report
 (** @raise Unsatisfiable when no candidate allocation meets a constraint. *)
+
+val compile_reporting : Ast.program -> entry:string -> Design.t
+(** {!compile} with the exploration {!report} folded into the design's
+    stats ([constraint-status], [constraint-exploration]) instead of
+    discarded — what the registry registers. *)
+
+val descriptor : Backend.descriptor

@@ -258,3 +258,12 @@ let to_design (b : builder) : Design.t =
         | exception Rtlgen.Elaboration_error _ -> None);
     clock_period = Some (Float.max 1. (Fsmd.critical_state_delay fsmd));
     stats = [ ("states", string_of_int (Fsmd.num_states fsmd)) ] }
+
+let descriptor =
+  Backend.make ~name:"ocapi"
+    ~capabilities:{ Backend.default_capabilities with
+                    Backend.c_frontend = false }
+    ~description:"structural EDSL: the OCaml program builds the FSMD \
+                  directly (no C frontend)"
+    ~dialect:Dialect.ocapi
+    (fun _program ~entry:_ -> raise (Backend.No_c_frontend "ocapi"))

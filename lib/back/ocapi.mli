@@ -70,3 +70,7 @@ val add_state : builder -> action list -> transition -> int
 
 val build : builder -> Fsmd.t
 val to_design : builder -> Design.t
+
+val descriptor : Backend.descriptor
+(** Registered for discoverability; its [compile] raises
+    {!Backend.No_c_frontend} — build designs with this module instead. *)

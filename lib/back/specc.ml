@@ -150,3 +150,8 @@ let refine (program : Ast.program) ~entry ~test_vectors : Design.t * report =
 
 let compile (program : Ast.program) ~entry : Design.t =
   fst (refine program ~entry ~test_vectors:[])
+
+let descriptor =
+  Backend.make ~name:"specc" ~pipeline:(Some pipeline)
+    ~description:"behavioural hierarchy with par, scheduled per behaviour"
+    ~dialect:Dialect.specc compile

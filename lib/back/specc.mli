@@ -30,3 +30,5 @@ val refine :
 (** Run the full flow; the returned design is the implementation level. *)
 
 val compile : Ast.program -> entry:string -> Design.t
+
+val descriptor : Backend.descriptor

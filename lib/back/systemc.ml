@@ -248,3 +248,9 @@ let compile ?(resources = Schedule.default_allocation)
     clock_period = Some (Float.max 1. (Fsmd.critical_state_delay fsmd));
     stats = [ ("states", string_of_int (Fsmd.num_states fsmd)) ];
     pass_trace }
+
+let descriptor =
+  Backend.make ~name:"systemc" ~pipeline:(Some pipeline)
+    ~description:"clocked process network simulated at the RTL level"
+    ~dialect:Dialect.systemc
+    (fun program ~entry -> compile program ~entry)

@@ -50,3 +50,5 @@ val pipeline : Passes.pipeline
 
 val compile :
   ?resources:Schedule.resources -> Ast.program -> entry:string -> Design.t
+
+val descriptor : Backend.descriptor

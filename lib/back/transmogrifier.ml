@@ -38,3 +38,9 @@ let compile_unrolled (program : Ast.program) ~entry : Design.t =
   Fsmd_common.build ~backend_name:"transmogrifier" ~dialect
     ~mem_forwarding:true ~pipeline:unrolled_pipeline
     ~schedule_block:Fsmd.transmogrifier_schedule program ~entry
+
+let descriptor =
+  Backend.make ~name:"transmogrifier" ~aliases:[ "tmcc" ]
+    ~pipeline:(Some pipeline)
+    ~description:"one state per basic block, whole blocks chained per cycle"
+    ~dialect:Dialect.transmogrifier compile

@@ -17,3 +17,5 @@ val compile : Ast.program -> entry:string -> Design.t
 val compile_unrolled : Ast.program -> entry:string -> Design.t
 (** E4's recoding: unroll every bounded loop first, trading cycles for
     combinational depth. *)
+
+val descriptor : Backend.descriptor

@@ -2,106 +2,34 @@
 
    One entry point for everything the library does: parse and check a
    C-like source, pick a surveyed language (a backend), synthesize a
-   design, simulate it, and compare against the software oracle.  The
-   examples, tests, CLI and benchmarks all go through this module. *)
+   design, simulate it, and compare against the software oracle.
 
-type backend =
-  | Cones_backend
-  | Hardwarec_backend
-  | Transmogrifier_backend
-  | Systemc_backend
-  | Ocapi_backend (* structural EDSL: no C frontend; see Ocapi directly *)
-  | C2verilog_backend
-  | Cyber_backend
-  | Handelc_backend
-  | Specc_backend
-  | Bachc_backend
-  | Cash_backend
+   Backends are no longer a closed variant: {!Registry} holds the
+   descriptors and [backend] is a thin registry handle.  The function
+   names below survive as one-line wrappers so old call sites keep
+   reading naturally; multi-backend work should go through {!Driver},
+   which parses once and caches designs by content. *)
 
-let backend_name = function
-  | Cones_backend -> "cones"
-  | Hardwarec_backend -> "hardwarec"
-  | Transmogrifier_backend -> "transmogrifier"
-  | Systemc_backend -> "systemc"
-  | Ocapi_backend -> "ocapi"
-  | C2verilog_backend -> "c2verilog"
-  | Cyber_backend -> "cyber"
-  | Handelc_backend -> "handelc"
-  | Specc_backend -> "specc"
-  | Bachc_backend -> "bachc"
-  | Cash_backend -> "cash"
+type backend = Registry.t
 
-let backend_of_name name =
-  match String.lowercase_ascii name with
-  | "cones" -> Some Cones_backend
-  | "hardwarec" -> Some Hardwarec_backend
-  | "transmogrifier" | "tmcc" -> Some Transmogrifier_backend
-  | "systemc" -> Some Systemc_backend
-  | "c2verilog" | "c2v" -> Some C2verilog_backend
-  | "cyber" | "bdl" -> Some Cyber_backend
-  | "handelc" | "handel-c" -> Some Handelc_backend
-  | "specc" -> Some Specc_backend
-  | "bachc" | "bach" -> Some Bachc_backend
-  | "cash" -> Some Cash_backend
-  | _ -> None
+let backend_name = Registry.name
+let backend_of_name = Registry.find
+let dialect_of = Registry.dialect
+let pipeline_of = Registry.pipeline
 
 (** Backends that compile C sources (Ocapi builds hardware structurally
     from OCaml instead). *)
-let all_compiling_backends =
-  [ Cones_backend; Hardwarec_backend; Transmogrifier_backend;
-    Systemc_backend; C2verilog_backend; Cyber_backend; Handelc_backend;
-    Specc_backend; Bachc_backend; Cash_backend ]
+let all_compiling_backends = Registry.compiling ()
 
 (** Parse and type-check a source string. *)
 let parse = Typecheck.parse_and_check
 
-(** The dialect a backend implements (for legality checking). *)
-let dialect_of = function
-  | Cones_backend -> Dialect.cones
-  | Hardwarec_backend -> Dialect.hardwarec
-  | Transmogrifier_backend -> Dialect.transmogrifier
-  | Systemc_backend -> Dialect.systemc
-  | Ocapi_backend -> Dialect.ocapi
-  | C2verilog_backend -> Dialect.c2verilog
-  | Cyber_backend -> Dialect.cyber
-  | Handelc_backend -> Dialect.handelc
-  | Specc_backend -> Dialect.specc
-  | Bachc_backend -> Dialect.bachc
-  | Cash_backend -> Dialect.cash
-
 (** Can this (checked) program be compiled by this backend? *)
 let accepts backend program = Dialect.check (dialect_of backend) program = []
 
-(** The pipeline a backend declares to the pass manager ([None] for the
-    structural Ocapi EDSL, which runs no compilation pipeline). *)
-let pipeline_of = function
-  | Cones_backend -> Some Cones.pipeline
-  | Hardwarec_backend -> Some Hardwarec.pipeline
-  | Transmogrifier_backend -> Some Transmogrifier.pipeline
-  | Systemc_backend -> Some Systemc.pipeline
-  | Ocapi_backend -> None
-  | C2verilog_backend -> Some C2v_machine.pipeline
-  | Cyber_backend -> Some Bachc.pipeline
-  | Handelc_backend -> Some Handelc.pipeline
-  | Specc_backend -> Some Specc.pipeline
-  | Bachc_backend -> Some Bachc.pipeline
-  | Cash_backend -> Some Cash.pipeline
-
 (** Synthesize a checked program with the chosen backend. *)
 let compile_program backend (program : Ast.program) ~entry : Design.t =
-  match backend with
-  | Cones_backend -> Cones.compile program ~entry
-  | Hardwarec_backend -> fst (Hardwarec.compile program ~entry)
-  | Transmogrifier_backend -> Transmogrifier.compile program ~entry
-  | Systemc_backend -> Systemc.compile program ~entry
-  | Ocapi_backend ->
-    failwith "ocapi is a structural EDSL: build designs with the Ocapi module"
-  | C2verilog_backend -> C2v_machine.compile program ~entry
-  | Cyber_backend -> Bachc.compile_cyber program ~entry
-  | Handelc_backend -> Handelc.compile program ~entry
-  | Specc_backend -> Specc.compile program ~entry
-  | Bachc_backend -> Bachc.compile program ~entry
-  | Cash_backend -> Cash.compile program ~entry
+  Registry.compile backend program ~entry
 
 (** Parse, check and synthesize in one step. *)
 let compile backend source ~entry =
@@ -129,19 +57,45 @@ let verify_against_reference design source ~entry ~arg_sets =
 (* --- the paper's Table 1, regenerated --- *)
 
 let render_table1 () =
+  let header =
+    [ "Language"; "Year"; "Concurrency"; "Timing"; "Characterisation (Table 1)" ]
+  in
+  let rows =
+    List.map
+      (fun (d : Dialect.t) ->
+        [ d.Dialect.name;
+          string_of_int d.Dialect.year;
+          Dialect.string_of_concurrency d.Dialect.concurrency;
+          Dialect.string_of_timing d.Dialect.timing;
+          d.Dialect.characterisation ])
+      Dialect.table1
+  in
+  (* column widths come from the data so no cell is ever truncated; the
+     last column is left unpadded *)
+  let widths =
+    List.fold_left
+      (fun ws row -> List.map2 (fun w c -> max w (String.length c)) ws row)
+      (List.map String.length header)
+      rows
+  in
   let buf = Buffer.create 1024 in
+  let emit row =
+    let n = List.length row in
+    List.iteri
+      (fun i (w, c) ->
+        if i = n - 1 then Buffer.add_string buf c
+        else begin
+          Buffer.add_string buf c;
+          Buffer.add_string buf (String.make (w - String.length c + 1) ' ')
+        end)
+      (List.combine widths row);
+    Buffer.add_char buf '\n'
+  in
+  emit header;
   Buffer.add_string buf
-    (Printf.sprintf "%-18s %-6s %-24s %-28s %s\n" "Language" "Year"
-       "Concurrency" "Timing" "Characterisation (Table 1)");
-  Buffer.add_string buf (String.make 110 '-' ^ "\n");
-  List.iter
-    (fun (d : Dialect.t) ->
-      Buffer.add_string buf
-        (Printf.sprintf "%-18s %-6d %-24s %-28s %s\n" d.Dialect.name
-           d.Dialect.year
-           (Dialect.string_of_concurrency d.Dialect.concurrency)
-           (let s = Dialect.string_of_timing d.Dialect.timing in
-            if String.length s > 28 then String.sub s 0 28 else s)
-           d.Dialect.characterisation))
-    Dialect.table1;
+    (String.make
+       (List.fold_left ( + ) 0 widths + List.length widths - 1)
+       '-');
+  Buffer.add_char buf '\n';
+  List.iter emit rows;
   Buffer.contents buf

@@ -1,26 +1,20 @@
 (** CHLS public facade: parse and check a C-like source, pick a surveyed
     language (a backend), synthesize a design, simulate it, and compare
-    against the software oracle.  Examples, tests, CLI and benchmarks all
-    go through this module. *)
+    against the software oracle.
 
-type backend =
-  | Cones_backend
-  | Hardwarec_backend
-  | Transmogrifier_backend
-  | Systemc_backend
-  | Ocapi_backend
-      (** structural EDSL: no C frontend; build designs with {!Ocapi} *)
-  | C2verilog_backend
-  | Cyber_backend
-  | Handelc_backend
-  | Specc_backend
-  | Bachc_backend
-  | Cash_backend
+    A [backend] is a thin {!Registry} handle (structural equality by
+    name) — the old closed variant is gone; every function here is a
+    one-line wrapper over the registry.  Multi-backend workloads should
+    use {!Driver}, which parses the source once and memoizes designs
+    under a content hash. *)
+
+type backend = Registry.t
 
 val backend_name : backend -> string
 
 val backend_of_name : string -> backend option
-(** Case-insensitive; accepts a few aliases ("tmcc", "c2v", "bdl"). *)
+(** Case-insensitive; accepts the registered aliases ("tmcc", "c2v",
+    "bdl", "bach", "handel-c"). *)
 
 val all_compiling_backends : backend list
 (** Backends that compile C sources (everything except Ocapi). *)
@@ -41,7 +35,8 @@ val pipeline_of : backend -> Passes.pipeline option
     structural view. *)
 
 val compile_program : backend -> Ast.program -> entry:string -> Design.t
-(** Synthesize a checked program.  Fails if the dialect rejects it. *)
+(** Synthesize a checked program.  Fails if the dialect rejects it.
+    @raise Backend.No_c_frontend for the structural Ocapi EDSL. *)
 
 val compile : backend -> string -> entry:string -> Design.t
 (** Parse, check and synthesize in one step. *)
@@ -62,4 +57,5 @@ val verify_against_reference :
 (** Check a design against the software semantics on argument vectors. *)
 
 val render_table1 : unit -> string
-(** The paper's Table 1, regenerated from the dialect registry. *)
+(** The paper's Table 1, regenerated from the dialect registry; column
+    widths are computed from the data, so no cell is truncated. *)

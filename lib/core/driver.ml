@@ -1,0 +1,196 @@
+(* The parse-once compile driver.  See driver.mli. *)
+
+type error =
+  | Frontend_error of { message : string; loc : Ast.loc }
+  | No_c_frontend of { backend : string }
+  | Dialect_reject of { backend : string;
+                        violations : Dialect.violation list }
+  | Backend_error of { backend : string; message : string; loc : Ast.loc }
+  | Verification_error of { backend : string; message : string }
+
+type session = {
+  source : string;
+  entry : string;
+  digest : string;
+  metrics : Metrics.t;
+  mutable frontend : (Ast.program, error) result option;
+}
+
+let create ?(entry = "main") source =
+  { source; entry; digest = Digest.to_hex (Digest.string source);
+    metrics = Metrics.create (); frontend = None }
+
+let entry t = t.entry
+let source_digest t = t.digest
+let metrics t = t.metrics
+
+let render_loc ?file (loc : Ast.loc) =
+  if loc = Ast.no_loc then Option.value file ~default:""
+  else
+    Printf.sprintf "%s%d:%d"
+      (match file with Some f -> f ^ ":" | None -> "")
+      loc.Ast.line loc.Ast.col
+
+let render_error ?file = function
+  | Frontend_error { message; loc } ->
+    let where = render_loc ?file loc in
+    if where = "" then Printf.sprintf "error: %s" message
+    else Printf.sprintf "%s: error: %s" where message
+  | No_c_frontend { backend } ->
+    Printf.sprintf "%s: structural EDSL, no C frontend — build designs \
+                    with the Ocapi module" backend
+  | Dialect_reject { backend; violations } -> (
+    match violations with
+    | { Dialect.rule; where } :: _ ->
+      Printf.sprintf "%s: dialect rejects: %s (in %s)" backend rule where
+    | [] -> Printf.sprintf "%s: dialect rejects" backend)
+  | Backend_error { backend; message; loc } ->
+    let where = render_loc ?file loc in
+    if where = "" then Printf.sprintf "%s: error: %s" backend message
+    else Printf.sprintf "%s: %s: error: %s" backend where message
+  | Verification_error { backend; message } ->
+    Printf.sprintf "%s: pass verification failed: %s" backend message
+
+(* --- cache bookkeeping --- *)
+
+(* content hash -> design; process-wide so sessions over the same source
+   (and repeated sessions in one run) share artifacts *)
+let design_cache : (string, Design.t) Hashtbl.t = Hashtbl.create 64
+
+let cache_size () = Hashtbl.length design_cache
+let clear_cache () = Hashtbl.reset design_cache
+
+let hit t kind =
+  Metrics.incr t.metrics "driver.cache.hits";
+  Metrics.incr t.metrics (Printf.sprintf "driver.cache.%s_hits" kind)
+
+let miss t kind =
+  Metrics.incr t.metrics "driver.cache.misses";
+  Metrics.incr t.metrics (Printf.sprintf "driver.cache.%s_misses" kind)
+
+(* The pass-manager options are part of the compile's identity (verify
+   vectors change what gets checked, dump hooks are side effects), so
+   they join the content hash. *)
+let options_fingerprint () =
+  let o = Passes.current_options () in
+  Printf.sprintf "%s|%s"
+    (String.concat ";"
+       (List.map
+          (fun vec -> String.concat "," (List.map string_of_int vec))
+          o.Passes.verify))
+    (String.concat "," o.Passes.dump_after)
+
+let design_key t backend =
+  Printf.sprintf "%s|%s|%s|%s" t.digest (Registry.name backend) t.entry
+    (options_fingerprint ())
+
+(* --- the frontend, exactly once per session --- *)
+
+let program t =
+  match t.frontend with
+  | Some r ->
+    hit t "frontend";
+    r
+  | None ->
+    miss t "frontend";
+    let t0 = Sys.time () in
+    let r =
+      match Typecheck.parse_and_check t.source with
+      | p -> Ok p
+      | exception Parser.Error (message, loc) ->
+        Error (Frontend_error { message; loc })
+      | exception Typecheck.Error (message, loc) ->
+        Error (Frontend_error { message; loc })
+    in
+    Metrics.add_ms t.metrics "driver.frontend_ms"
+      ((Sys.time () -. t0) *. 1000.);
+    t.frontend <- Some r;
+    r
+
+(* --- per-backend compilation --- *)
+
+let compile t backend =
+  match program t with
+  | Error e -> Error e
+  | Ok prog ->
+    let name = Registry.name backend in
+    if not (Registry.capabilities backend).Backend.c_frontend then
+      Error (No_c_frontend { backend = name })
+    else begin
+      match Dialect.check (Registry.dialect backend) prog with
+      | _ :: _ as violations ->
+        Error (Dialect_reject { backend = name; violations })
+      | [] -> (
+        let key = design_key t backend in
+        match Hashtbl.find_opt design_cache key with
+        | Some design ->
+          hit t "design";
+          Ok design
+        | None ->
+          miss t "design";
+          let t0 = Sys.time () in
+          let r =
+            match Registry.compile backend prog ~entry:t.entry with
+            | design ->
+              Hashtbl.replace design_cache key design;
+              Ok design
+            | exception Backend.No_c_frontend b ->
+              Error (No_c_frontend { backend = b })
+            | exception Lower.Error (message, loc) ->
+              Error (Backend_error { backend = name; message; loc })
+            | exception Conc_check.Check_failed ds ->
+              Error
+                (Backend_error
+                   { backend = name;
+                     message =
+                       String.concat "; "
+                         (List.map (Conc_check.render ?file:None) ds);
+                     loc = Ast.no_loc })
+            | exception Passes.Verification_failed message ->
+              Error (Verification_error { backend = name; message })
+            | exception Hardwarec.Unsatisfiable message ->
+              Error
+                (Backend_error
+                   { backend = name;
+                     message = "unsatisfiable timing constraints: " ^ message;
+                     loc = Ast.no_loc })
+            | exception Cones.Unsupported message ->
+              Error
+                (Backend_error
+                   { backend = name; message; loc = Ast.no_loc })
+            | exception Failure message ->
+              Error
+                (Backend_error
+                   { backend = name; message; loc = Ast.no_loc })
+          in
+          Metrics.add_ms t.metrics
+            (Printf.sprintf "driver.compile.%s_ms" name)
+            ((Sys.time () -. t0) *. 1000.);
+          r)
+    end
+
+let compile_all ?backends t =
+  let backends =
+    match backends with Some bs -> bs | None -> Registry.all ()
+  in
+  List.map (fun b -> (b, compile t b)) backends
+
+let reference t ~args =
+  match program t with
+  | Error e -> Error e
+  | Ok prog -> (
+    let width = 64 in
+    match
+      Interp.run prog ~entry:t.entry
+        ~args:(List.map (Bitvec.of_int ~width) args)
+    with
+    | { Interp.return_value = Some v; _ } -> Ok (Bitvec.to_int v)
+    | { Interp.return_value = None; _ } ->
+      Error
+        (Backend_error
+           { backend = "reference"; message = "entry returned void";
+             loc = Ast.no_loc })
+    | exception Interp.Runtime_error message ->
+      Error
+        (Backend_error
+           { backend = "reference"; message; loc = Ast.no_loc }))

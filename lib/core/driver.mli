@@ -1,0 +1,85 @@
+(** The compilation driver: parse once, compile many, cache by content.
+
+    The paper's argument is comparative — the same C program pushed
+    through many surveyed compilers — and before this module every
+    consumer re-parsed and re-typechecked the source once per backend.  A
+    {!session} owns one source: the frontend runs exactly once (memoized,
+    timed), every backend compiles through {!compile} which memoizes the
+    resulting {!Design.t} in a process-wide artifact cache keyed by a
+    content hash of (source digest, backend, entry, pass options), and
+    {!compile_all} runs dialect legality first and returns per-backend
+    accept/reject values instead of raising.
+
+    Per-stage timings and cache activity land in the session's
+    {!Metrics.t} registry ([driver.frontend_ms],
+    [driver.compile.<backend>_ms], [driver.cache.hits/misses]), which
+    [chlsc compare --metrics-json] and [BENCH_driver.json] render. *)
+
+type session
+
+val create : ?entry:string -> string -> session
+(** A session over a source string; [entry] defaults to ["main"].  The
+    frontend has not run yet — it runs (once) on first demand. *)
+
+val entry : session -> string
+
+val source_digest : session -> string
+(** Hex content digest of the source — the frontend half of the cache
+    key. *)
+
+val metrics : session -> Metrics.t
+(** The session's live metrics registry (timings, cache counters). *)
+
+(** {1 Typed rejection} *)
+
+type error =
+  | Frontend_error of { message : string; loc : Ast.loc }
+      (** parse or typecheck failure — poisons the whole session *)
+  | No_c_frontend of { backend : string }
+      (** structural EDSL (Ocapi): there is no C source to compile *)
+  | Dialect_reject of { backend : string;
+                        violations : Dialect.violation list }
+      (** the dialect's published restrictions reject the program *)
+  | Backend_error of { backend : string; message : string; loc : Ast.loc }
+      (** the backend failed mid-compile (lowering, concurrency check,
+          unsatisfiable constraints...) *)
+  | Verification_error of { backend : string; message : string }
+      (** a semantics-preserving pass diverged under
+          [Passes.options.verify] *)
+
+val render_error : ?file:string -> error -> string
+(** One-line diagnostic; locations render as [file:line:col] when a file
+    name is given and the location is known. *)
+
+(** {1 Compiling} *)
+
+val program : session -> (Ast.program, error) result
+(** The parsed, type-checked program.  Runs the frontend on first call
+    (recording [driver.frontend_ms]); later calls are cache hits. *)
+
+val compile : session -> Registry.t -> (Design.t, error) result
+(** Compile through one backend: dialect legality first, then the
+    content-hashed design cache, then the backend itself with every
+    backend exception converted to a typed {!error}.  Never raises on
+    bad input; a repeated call with identical (source, backend, entry,
+    options) is a cache hit returning the same design. *)
+
+val compile_all :
+  ?backends:Registry.t list -> session ->
+  (Registry.t * (Design.t, error) result) list
+(** {!compile} across [backends] (default: every registered backend, in
+    registration order) — the frontend runs once, each backend gets its
+    own accept/reject verdict. *)
+
+val reference : session -> args:int list -> (int, error) result
+(** The software oracle on the session's (already parsed) program — the
+    frontend is amortized here too. *)
+
+(** {1 The process-wide artifact cache} *)
+
+val cache_size : unit -> int
+(** Designs currently memoized. *)
+
+val clear_cache : unit -> unit
+(** Drop every memoized design (benchmarks use this to measure cold
+    compiles; sessions keep their frontend memo). *)

@@ -1,0 +1,62 @@
+(** The backend registry: every surveyed synthesis scheme, looked up by
+    name instead of dispatched over a closed variant.
+
+    Backends self-describe as {!Backend.descriptor} records in their own
+    modules; this registry collects them at module initialisation (one
+    registration line per backend) and hands out thin {!t} handles.  A
+    handle is just the canonical name, so handles compare structurally
+    and survive in data (the old [Chls.backend] constructors compared
+    with [=]; handles still do).
+
+    The paper's comparative tables ([chlsc compare], experiment E3) walk
+    {!all}/{!compiling} instead of hand-maintained lists, so adding a
+    twelfth backend means one new module plus one registration line —
+    nothing else in the repo names backends exhaustively. *)
+
+type t
+(** A registered backend: a thin handle (the canonical name) over the
+    descriptor table.  Structural equality is by name. *)
+
+exception Unknown_backend of string
+(** Raised by {!get} with a message listing every registered name and
+    alias. *)
+
+val register : Backend.descriptor -> unit
+(** Add a descriptor.  @raise Invalid_argument if its name or an alias
+    (case-insensitively) collides with an existing registration. *)
+
+val find : string -> t option
+(** Case-insensitive lookup by canonical name or alias. *)
+
+val get : string -> t
+(** Like {!find}. @raise Unknown_backend (listing the catalog) on miss. *)
+
+val all : unit -> t list
+(** Every registered backend, in registration (Table 1) order. *)
+
+val compiling : unit -> t list
+(** The backends whose capabilities include a C frontend (everything
+    except the structural Ocapi EDSL). *)
+
+val names : unit -> string list
+(** Canonical names in registration order. *)
+
+val catalog : unit -> string
+(** Human-readable one-line listing — ["cones, hardwarec, transmogrifier
+    (alias tmcc), ..."] — for unknown-backend error messages. *)
+
+(** {1 Descriptor accessors} *)
+
+val descriptor : t -> Backend.descriptor
+val name : t -> string
+val aliases : t -> string list
+val description : t -> string
+val dialect : t -> Dialect.t
+val pipeline : t -> Passes.pipeline option
+val capabilities : t -> Backend.capabilities
+
+val compile : t -> Ast.program -> entry:string -> Design.t
+(** The descriptor's compile entry point.
+    @raise Backend.No_c_frontend for structural backends (Ocapi). *)
+
+val equal : t -> t -> bool

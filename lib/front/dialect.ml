@@ -98,7 +98,7 @@ let cyber =
     timing = Implicit_rule "implicit or explicit timing";
     allows_pointers = false; allows_recursion = false;
     allows_unbounded_loops = true; allows_channels = true; allows_par = true;
-    allows_constrain = false; backend = "bachc" }
+    allows_constrain = false; backend = "cyber" }
 
 let handelc =
   { name = "Handel-C"; citation = "[2]"; year = 1996; origin = "Celoxica";

@@ -4,41 +4,55 @@
    property of the whole system.  Also sanity-checks each backend's
    timing/area characteristics and the netlist elaboration path. *)
 
+let check_design backend (w : Workloads.t) design =
+  List.iter
+    (fun args ->
+      let expected = Workloads.reference w args in
+      let observed = Design.run_int design args in
+      Alcotest.(check (option int))
+        (Printf.sprintf "%s/%s(%s)" (Chls.backend_name backend)
+           w.Workloads.name
+           (String.concat "," (List.map string_of_int args)))
+        (Some expected) observed)
+    w.Workloads.arg_sets
+
+let check_result backend (w : Workloads.t) = function
+  | Ok design -> check_design backend w design
+  | Error (Driver.Dialect_reject _) | Error (Driver.No_c_frontend _) -> ()
+  | Error e ->
+    Alcotest.fail
+      (Printf.sprintf "%s/%s: %s" (Chls.backend_name backend) w.Workloads.name
+         (Driver.render_error e))
+
 let check_backend_on backend (w : Workloads.t) =
-  let program = Workloads.parse w in
-  if Chls.accepts backend program then begin
-    let design = Chls.compile_program backend program ~entry:w.Workloads.entry in
-    List.iter
-      (fun args ->
-        let expected = Workloads.reference w args in
-        let observed = Design.run_int design args in
-        Alcotest.(check (option int))
-          (Printf.sprintf "%s/%s(%s)" (Chls.backend_name backend)
-             w.Workloads.name
-             (String.concat "," (List.map string_of_int args)))
-          (Some expected) observed)
-      w.Workloads.arg_sets
-  end
+  let session = Driver.create ~entry:w.Workloads.entry w.Workloads.source in
+  check_result backend w (Driver.compile session backend)
 
 let sequential_backends =
-  [ Chls.Transmogrifier_backend; Chls.Bachc_backend; Chls.Cyber_backend;
-    Chls.Handelc_backend; Chls.Cash_backend; Chls.Systemc_backend;
-    Chls.C2verilog_backend; Chls.Specc_backend; Chls.Hardwarec_backend ]
+  [ (Registry.get "transmogrifier"); (Registry.get "bachc"); (Registry.get "cyber");
+    (Registry.get "handelc"); (Registry.get "cash"); (Registry.get "systemc");
+    (Registry.get "c2verilog"); (Registry.get "specc"); (Registry.get "hardwarec") ]
 
 let test_sequential_equivalence () =
+  (* one driver session per workload: the frontend runs once and every
+     backend compiles from the same checked program *)
   List.iter
-    (fun backend -> List.iter (check_backend_on backend) Workloads.sequential)
-    sequential_backends
+    (fun (w : Workloads.t) ->
+      let session = Driver.create ~entry:w.Workloads.entry w.Workloads.source in
+      List.iter
+        (fun (backend, result) -> check_result backend w result)
+        (Driver.compile_all ~backends:sequential_backends session))
+    Workloads.sequential
 
 let test_cones_equivalence () =
-  List.iter (check_backend_on Chls.Cones_backend) Workloads.combinational
+  List.iter (check_backend_on (Registry.get "cones")) Workloads.combinational
 
 let test_concurrent_equivalence () =
-  List.iter (check_backend_on Chls.Handelc_backend) Workloads.concurrent;
-  List.iter (check_backend_on Chls.Bachc_backend) Workloads.concurrent
+  List.iter (check_backend_on (Registry.get "handelc")) Workloads.concurrent;
+  List.iter (check_backend_on (Registry.get "bachc")) Workloads.concurrent
 
 let test_thorny_equivalence () =
-  List.iter (check_backend_on Chls.C2verilog_backend) Workloads.thorny
+  List.iter (check_backend_on (Registry.get "c2verilog")) Workloads.thorny
 
 let test_dialect_rejections () =
   (* the pointer workload must be rejected by the pointer-free dialects *)
@@ -48,15 +62,15 @@ let test_dialect_rejections () =
       Alcotest.(check bool)
         (Chls.backend_name backend ^ " rejects pointers")
         false (Chls.accepts backend ptr))
-    [ Chls.Cones_backend; Chls.Handelc_backend; Chls.Bachc_backend;
-      Chls.Cash_backend ];
+    [ (Registry.get "cones"); (Registry.get "handelc"); (Registry.get "bachc");
+      (Registry.get "cash") ];
   Alcotest.(check bool) "c2verilog accepts pointers" true
-    (Chls.accepts Chls.C2verilog_backend ptr);
+    (Chls.accepts (Registry.get "c2verilog") ptr);
   let conc = Workloads.parse Workloads.producer_consumer in
   Alcotest.(check bool) "cash rejects channels" false
-    (Chls.accepts Chls.Cash_backend conc);
+    (Chls.accepts (Registry.get "cash") conc);
   Alcotest.(check bool) "handelc accepts channels" true
-    (Chls.accepts Chls.Handelc_backend conc)
+    (Chls.accepts (Registry.get "handelc") conc)
 
 (* --- timing semantics of the clock-insertion rules --- *)
 
@@ -70,15 +84,15 @@ let test_transmogrifier_cycle_rule () =
   (* fib(n): after CFG simplification an iteration is the header state plus
      one merged body state — cycles grow at exactly 2 per iteration, the
      "only loop iterations take a cycle" rule (plus the exit test). *)
-  let c10 = cycles_of Chls.Transmogrifier_backend Workloads.fib [ 10 ] in
-  let c20 = cycles_of Chls.Transmogrifier_backend Workloads.fib [ 20 ] in
+  let c10 = cycles_of (Registry.get "transmogrifier") Workloads.fib [ 10 ] in
+  let c20 = cycles_of (Registry.get "transmogrifier") Workloads.fib [ 20 ] in
   Alcotest.(check int) "two states per extra iteration" 20 (c20 - c10)
 
 let test_handelc_cycle_rule () =
   (* Handel-C: one cycle per assignment.  fib's loop body has 3 assignments
      plus the for-step, so cycles scale at ~4/iteration. *)
-  let c10 = cycles_of Chls.Handelc_backend Workloads.fib [ 10 ] in
-  let c20 = cycles_of Chls.Handelc_backend Workloads.fib [ 20 ] in
+  let c10 = cycles_of (Registry.get "handelc") Workloads.fib [ 10 ] in
+  let c20 = cycles_of (Registry.get "handelc") Workloads.fib [ 20 ] in
   let per_iter = (c20 - c10) / 10 in
   Alcotest.(check int) "four assignment-cycles per fib iteration" 4 per_iter
 
@@ -94,10 +108,10 @@ let test_timing_scheme_tradeoffs () =
       let args = List.hd w.Workloads.arg_sets in
       let program = Workloads.parse w in
       let design b = Chls.compile_program b program ~entry:w.Workloads.entry in
-      let tm = design Chls.Transmogrifier_backend in
-      let bach = design Chls.Bachc_backend in
-      let tm_cycles = cycles_of Chls.Transmogrifier_backend w args in
-      let bach_cycles = cycles_of Chls.Bachc_backend w args in
+      let tm = design (Registry.get "transmogrifier") in
+      let bach = design (Registry.get "bachc") in
+      let tm_cycles = cycles_of (Registry.get "transmogrifier") w args in
+      let bach_cycles = cycles_of (Registry.get "bachc") w args in
       Alcotest.(check bool)
         (Printf.sprintf "transmogrifier <= bachc cycles on %s (%d vs %d)"
            w.Workloads.name tm_cycles bach_cycles)
@@ -111,7 +125,7 @@ let test_timing_scheme_tradeoffs () =
 
 let test_cones_is_combinational () =
   let program = Workloads.parse Workloads.fir in
-  let design = Chls.compile_program Chls.Cones_backend program ~entry:"fir" in
+  let design = Chls.compile_program (Registry.get "cones") program ~entry:"fir" in
   let r = design.Design.run (Design.int_args [ 1; 2 ]) in
   Alcotest.(check bool) "no cycles" true (r.Design.cycles = None);
   Alcotest.(check bool) "has settle time" true (r.Design.time_units <> None);
@@ -123,7 +137,7 @@ let test_cones_is_combinational () =
 
 let test_cash_is_asynchronous () =
   let program = Workloads.parse Workloads.fir in
-  let design = Chls.compile_program Chls.Cash_backend program ~entry:"fir" in
+  let design = Chls.compile_program (Registry.get "cash") program ~entry:"fir" in
   let r = design.Design.run (Design.int_args [ 1; 2 ]) in
   Alcotest.(check bool) "no clock" true (r.Design.cycles = None);
   Alcotest.(check bool) "completion time positive" true
@@ -161,7 +175,7 @@ let test_elaboration_equivalence () =
 
 let test_elaborated_verilog_emits () =
   let program = Workloads.parse Workloads.gcd in
-  let design = Chls.compile_program Chls.Bachc_backend program ~entry:"gcd" in
+  let design = Chls.compile_program (Registry.get "bachc") program ~entry:"gcd" in
   match design.Design.verilog () with
   | Some src ->
     Alcotest.(check bool) "has module header" true
@@ -256,7 +270,7 @@ let test_systemc_delta_convergence () =
 let test_c2verilog_machine_details () =
   let program = Workloads.parse Workloads.recursion in
   let design =
-    Chls.compile_program Chls.C2verilog_backend program ~entry:"run"
+    Chls.compile_program (Registry.get "c2verilog") program ~entry:"run"
   in
   (* recursion depth costs cycles: deeper recursion, more cycles *)
   let cycles n =
@@ -282,7 +296,7 @@ let test_handelc_channel_cycle_semantics () =
     }
     |}
   in
-  let design = Chls.compile Chls.Handelc_backend src ~entry:"run" in
+  let design = Chls.compile (Registry.get "handelc") src ~entry:"run" in
   let r = design.Design.run (Design.int_args [ 21 ]) in
   Alcotest.(check (option int)) "value transferred" (Some 42)
     (Option.map Bitvec.to_int r.Design.result);
@@ -297,7 +311,7 @@ let test_handelc_structural_views () =
   (* sequential Handel-C programs get a netlist view cut at assignment
      boundaries; concurrent ones do not (the statement machine is the
      only executable model for par/channels) *)
-  let seq = Chls.compile Chls.Handelc_backend
+  let seq = Chls.compile (Registry.get "handelc")
       (Workloads.gcd).Workloads.source ~entry:"gcd"
   in
   (match seq.Design.verilog () with
@@ -308,7 +322,7 @@ let test_handelc_structural_views () =
     Alcotest.(check bool) "has registers" true (a.Area.num_registers > 0)
   | None -> Alcotest.fail "sequential handelc should report area");
   let conc =
-    Chls.compile Chls.Handelc_backend
+    Chls.compile (Registry.get "handelc")
       (Workloads.producer_consumer).Workloads.source ~entry:"run"
   in
   Alcotest.(check bool) "concurrent: no netlist view" true
@@ -336,8 +350,8 @@ let test_global_state_observable () =
           21 (Bitvec.to_int v)
       | None ->
         Alcotest.fail (Chls.backend_name backend ^ " lost global 'last'"))
-    [ Chls.Transmogrifier_backend; Chls.Bachc_backend; Chls.Handelc_backend;
-      Chls.C2verilog_backend ]
+    [ (Registry.get "transmogrifier"); (Registry.get "bachc"); (Registry.get "handelc");
+      (Registry.get "c2verilog") ]
 
 let suite =
   ( "backends",

@@ -11,9 +11,9 @@ let test_backend_name_roundtrip () =
         (Chls.backend_of_name (Chls.backend_name backend) = Some backend))
     Chls.all_compiling_backends;
   Alcotest.(check bool) "aliases work" true
-    (Chls.backend_of_name "tmcc" = Some Chls.Transmogrifier_backend
-    && Chls.backend_of_name "BDL" = Some Chls.Cyber_backend
-    && Chls.backend_of_name "c2v" = Some Chls.C2verilog_backend);
+    (Chls.backend_of_name "tmcc" = Some (Registry.get "transmogrifier")
+    && Chls.backend_of_name "BDL" = Some (Registry.get "cyber")
+    && Chls.backend_of_name "c2v" = Some (Registry.get "c2verilog"));
   Alcotest.(check bool) "unknown rejected" true
     (Chls.backend_of_name "vhdl" = None)
 
@@ -49,17 +49,17 @@ let test_acceptance_matrix () =
           expected
           (Chls.accepts backend program)
       in
-      check Chls.Cones_backend cones;
-      check Chls.Handelc_backend handelc;
-      check Chls.Bachc_backend bachc;
-      check Chls.Cash_backend cash;
-      check Chls.C2verilog_backend c2v)
+      check (Registry.get "cones") cones;
+      check (Registry.get "handelc") handelc;
+      check (Registry.get "bachc") bachc;
+      check (Registry.get "cash") cash;
+      check (Registry.get "c2verilog") c2v)
     expected_acceptance
 
 let test_verify_against_reference () =
   let w = Workloads.gcd in
   let design =
-    Chls.compile Chls.Bachc_backend w.Workloads.source ~entry:"gcd"
+    Chls.compile (Registry.get "bachc") w.Workloads.source ~entry:"gcd"
   in
   let checks =
     Chls.verify_against_reference design w.Workloads.source ~entry:"gcd"
@@ -89,7 +89,7 @@ let test_table1_rendering () =
 
 let test_compile_rejects_wrong_dialect () =
   let ptr = (Workloads.pointer_sum).Workloads.source in
-  match Chls.compile Chls.Bachc_backend ptr ~entry:"run" with
+  match Chls.compile (Registry.get "bachc") ptr ~entry:"run" with
   | exception Failure _ -> ()
   | _ -> Alcotest.fail "bachc must reject pointers at compile"
 
