@@ -154,6 +154,10 @@ let pipelining () =
            | `Irregular_control -> "control-flow-bound"
          in
          match Pipeline.modulo_schedule func with
+         | r when r.Pipeline.fallback ->
+           [ name; class_name; Tables.i r.Pipeline.rec_mii;
+             Tables.i r.Pipeline.res_mii; "-";
+             Tables.i r.Pipeline.sequential_cycles; "1.00 (diverged)" ]
          | r ->
            [ name; class_name; Tables.i r.Pipeline.rec_mii;
              Tables.i r.Pipeline.res_mii; Tables.i r.Pipeline.ii;
@@ -163,6 +167,8 @@ let pipelining () =
            [ name; class_name; "-"; "-"; "-"; "-";
              "1.00 (" ^ reason ^ ")" ])
        pipeline_sources);
+  if Pipeline.fallback_count () > 0 then
+    Printf.printf "sched.modulo.fallbacks: %d\n" (Pipeline.fallback_count ());
   (* extension: if-conversion rescues the control-flow-bound loop *)
   (match
      List.find_opt (fun (_, cls, _) -> cls = `Irregular_control)

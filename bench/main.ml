@@ -77,6 +77,13 @@ let compile_pipeline_benchmarks () =
 
 let () =
   let skip_perf = Array.exists (fun a -> a = "--skip-perf") Sys.argv in
+  (* CI entry: just the compiled-simulation bench on one kernel, so the
+     BENCH_simcomp.json artifact (with its built-in equivalence check)
+     regenerates quickly on every push *)
+  if Array.exists (fun a -> a = "--simcomp-smoke") Sys.argv then begin
+    Simcomp_bench.run_smoke ();
+    exit 0
+  end;
   print_endline
     "CHLS experiment harness — reproducing Edwards, \"The Challenges of \
      Hardware\nSynthesis from C-like Languages\" (DATE 2005).";
@@ -88,5 +95,11 @@ let () =
   Neteval_bench.run_all ();
   (* the driver sweep's cache counters are likewise deterministic *)
   Driver_bench.run_all ();
-  if not skip_perf then compile_pipeline_benchmarks ()
-  else print_endline "\n(E10 skipped: --skip-perf)"
+  if not skip_perf then begin
+    (* compiled vs interpreting engines: wall-clock cycles/sec, so it sits
+       with the perf benchmarks (the equivalence check inside always runs
+       under dune runtest via test_simcomp) *)
+    Simcomp_bench.run_all ();
+    compile_pipeline_benchmarks ()
+  end
+  else print_endline "\n(E10 and simcomp skipped: --skip-perf)"

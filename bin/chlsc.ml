@@ -26,6 +26,8 @@ let or_located_error file f =
   | exception Parser.Error (msg, loc) -> located loc msg
   | exception Typecheck.Error (msg, loc) -> located loc msg
   | exception Lower.Error (msg, loc) -> located loc msg
+  | exception Interp.Internal_error (msg, loc) ->
+    located loc ("internal error: " ^ msg)
 
 let parse_args_list s =
   if String.trim s = "" then []
@@ -236,6 +238,32 @@ let profile_flag =
               counts (summing to the cycle count) and the hottest netlist \
               nodes by evaluation count")
 
+let sim_arg =
+  let engine =
+    Arg.enum
+      [ ("compiled", Design.Compiled);
+        ("event", Design.Event_driven);
+        ("sweep", Design.Full_sweep) ]
+  in
+  Arg.(value & opt engine Design.Compiled
+       & info [ "sim" ] ~docv:"ENGINE"
+           ~doc:
+             "Simulation engine for the behavioural run: $(b,compiled) \
+              (levelized closure evaluator, the default), $(b,event) \
+              (event-driven interpreter) or $(b,sweep) (full-sweep \
+              oracle).  Backends with a single simulator ignore the \
+              selection; designs wider than 62 bits fall back to the \
+              interpreter.")
+
+let verify_sim_flag =
+  Arg.(value & flag
+       & info [ "verify-sim" ]
+           ~doc:
+             "With --args: run the compiled engine and the event-driven \
+              oracle on the same vectors and fail (exit 2) unless result, \
+              globals, memories, cycle count and VCD change stream are \
+              bit-identical")
+
 (* Drive the design's netlist view through the evaluator under both settling
    strategies and print the activity counters side by side. *)
 let print_sim_stats (design : Design.t) args =
@@ -273,27 +301,40 @@ let print_sim_stats (design : Design.t) args =
         describe "combinational" st
       end
       else begin
+        let runc =
+          Netcomp.run_until_done_stats nl ~inputs ~done_name:"done"
+            ~max_cycles:2_000_000
+        in
         let run strategy =
           Neteval.run_until_done_stats ~strategy nl ~inputs ~done_name:"done"
             ~max_cycles:2_000_000
         in
-        match (run Neteval.Event_driven, run Neteval.Full_sweep) with
-        | Ok (ev_out, ev_cycles, ev), Ok (fs_out, fs_cycles, fs) ->
+        match (runc, run Neteval.Event_driven, run Neteval.Full_sweep) with
+        | ( Ok (c_out, c_cycles, cs),
+            Ok (ev_out, ev_cycles, ev),
+            Ok (fs_out, fs_cycles, fs) ) ->
+          describe "compiled:" cs;
           describe "event-driven:" ev;
           describe "full-sweep:" fs;
+          let outs_eq a b =
+            List.for_all2
+              (fun (n1, v1) (n2, v2) -> n1 = n2 && Bitvec.equal v1 v2)
+              a b
+          in
           let agree =
-            ev_cycles = fs_cycles
-            && List.for_all2
-                 (fun (n1, v1) (n2, v2) -> n1 = n2 && Bitvec.equal v1 v2)
-                 ev_out fs_out
+            ev_cycles = fs_cycles && c_cycles = ev_cycles
+            && outs_eq ev_out fs_out && outs_eq c_out ev_out
           in
           Printf.printf
-            "  node-eval reduction: %.1fx; bit-exact vs full sweep: %s\n"
+            "  node-eval reduction: %.1fx; compiled speedup: %.1fx; \
+             bit-exact across engines: %s\n"
             (float_of_int fs.Neteval.nodes_evaluated
             /. float_of_int (max 1 ev.Neteval.nodes_evaluated))
+            (ev.Neteval.wall_time /. Float.max 1e-9 cs.Neteval.wall_time)
             (if agree then "yes" else "NO — evaluator bug");
           if not agree then exit 2
-        | Error `Timeout, _ | _, Error `Timeout ->
+        | Error `Timeout, _, _ | _, Error `Timeout, _ | _, _, Error `Timeout
+          ->
           print_endline "  (timed out)"
       end
     end
@@ -382,7 +423,7 @@ let print_state_profile (r : Design.run_result) =
 let compile_cmd =
   let doc = "Synthesize the program with a surveyed scheme" in
   let run file entry backend args verilog area stats trace_passes dump_ir
-      verify_passes vcd vcd_netlist profile metrics_json =
+      verify_passes vcd vcd_netlist profile metrics_json sim verify_sim =
     let source = read_file file in
     let verify =
       if not verify_passes then []
@@ -420,6 +461,8 @@ let compile_cmd =
     | Some p -> Metrics.set_fixed m "design.clock_period" ~decimals:1 p
     | None -> ());
     Metrics.set m "passes" (Trace.json_of_pass_trace design.Design.pass_trace);
+    if Pipeline.fallback_count () > 0 then
+      Metrics.set_int m "sched.modulo.fallbacks" (Pipeline.fallback_count ());
     let write_metrics () =
       match metrics_json with
       | Some path ->
@@ -457,7 +500,8 @@ let compile_cmd =
         [ ("--stats", stats);
           ("--vcd", vcd <> None);
           ("--vcd-netlist", vcd_netlist <> None);
-          ("--profile", profile) ]
+          ("--profile", profile);
+          ("--verify-sim", verify_sim) ]
     | Some args ->
       let args = parse_args_list args in
       let writer = Option.map (fun _ -> Vcd.create ()) vcd in
@@ -468,7 +512,8 @@ let compile_cmd =
           Printf.printf "wrote %s (%d vars)\n" path (Vcd.num_vars w)
         | _ -> ()
       in
-      (match design.Design.run ?vcd:writer (Design.int_args args) with
+      Metrics.set_string m "run.sim" (Design.engine_name sim);
+      (match design.Design.run ?vcd:writer ~sim (Design.int_args args) with
       | exception Rtlsim.Timeout { cycles; state } ->
         (* a partial outcome, not a bare failure: report how far the run
            got through the same channels a finished run uses *)
@@ -528,6 +573,59 @@ let compile_cmd =
             expected;
           exit 2
         end;
+        if verify_sim then begin
+          (* differential check: compiled engine vs the event-driven
+             oracle on the same vectors, comparing the full observable
+             surface — result, globals, memories, cycle count and the
+             VCD change stream *)
+          let run_engine sim =
+            let w = Vcd.create () in
+            let r = design.Design.run ~vcd:w ~sim (Design.int_args args) in
+            (r, Vcd.contents w)
+          in
+          let rc, vcd_c = run_engine Design.Compiled in
+          let re, vcd_e = run_engine Design.Event_driven in
+          let bv_opt_eq a b =
+            match (a, b) with
+            | Some x, Some y -> Bitvec.equal x y
+            | None, None -> true
+            | _ -> false
+          in
+          let named_eq eq a b =
+            List.length a = List.length b
+            && List.for_all2
+                 (fun (n1, v1) (n2, v2) -> n1 = n2 && eq v1 v2)
+                 a b
+          in
+          let arr_eq a b =
+            Array.length a = Array.length b
+            && Array.for_all2 Bitvec.equal a b
+          in
+          let mismatches =
+            List.filter_map
+              (fun (what, ok) -> if ok then None else Some what)
+              [ ("result", bv_opt_eq rc.Design.result re.Design.result);
+                ("globals",
+                 named_eq Bitvec.equal rc.Design.globals re.Design.globals);
+                ("memories",
+                 named_eq arr_eq rc.Design.memories re.Design.memories);
+                ("cycles", rc.Design.cycles = re.Design.cycles);
+                ("vcd", vcd_c = vcd_e) ]
+          in
+          Metrics.set_bool m "run.sim_verified" (mismatches = []);
+          if mismatches = [] then
+            print_endline
+              "verify-sim: compiled == event-driven (result, globals, \
+               memories, cycles, vcd)"
+          else begin
+            write_metrics ();
+            Printf.eprintf
+              "verify-sim: DIVERGENCE between compiled and event-driven \
+               engines (%s)\n"
+              (String.concat ", " mismatches);
+            exit 2
+          end
+        end;
         if profile then print_state_profile r;
         if stats then begin
           List.iter
@@ -558,7 +656,7 @@ let compile_cmd =
     Term.(const run $ file_arg $ entry_arg $ backend_arg $ args_arg
           $ verilog_arg $ area_flag $ stats_flag $ trace_passes_flag
           $ dump_ir_arg $ verify_passes_flag $ vcd_arg $ vcd_netlist_arg
-          $ profile_flag $ metrics_json_arg)
+          $ profile_flag $ metrics_json_arg $ sim_arg $ verify_sim_flag)
 
 (* --- chlsc compare: one source through every registered backend --- *)
 
@@ -829,6 +927,11 @@ let analyze_cmd =
       func.Cir.fn_blocks;
     print_endline "\n=== pipelining (innermost loop) ===";
     (match Pipeline.modulo_schedule func with
+    | r when r.Pipeline.fallback ->
+      Printf.printf
+        "II search diverged (RecMII=%d, ResMII=%d): left unpipelined, \
+         list schedule of %d cycles\n"
+        r.Pipeline.rec_mii r.Pipeline.res_mii r.Pipeline.sequential_cycles
     | r ->
       Printf.printf "II=%d (RecMII=%d, ResMII=%d), speedup %.2fx\n"
         r.Pipeline.ii r.Pipeline.rec_mii r.Pipeline.res_mii r.Pipeline.speedup

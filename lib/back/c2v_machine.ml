@@ -210,7 +210,7 @@ let compile (program : Ast.program) ~entry : Design.t =
     | None -> 0
   in
   let pointer_info = Pointer.analyze program in
-  let run ?vcd:_ args =
+  let run ?vcd:_ ?sim:_ args =
     let outcome = run compiled ~ret_width ~args in
     let metrics = Metrics.create () in
     Metrics.set_int metrics "sim.cycles" outcome.cycles;

@@ -32,7 +32,7 @@ let compile ?timing ?handshake (program : Ast.program) ~entry : Design.t =
   in
   let circuit = Dfg.of_ssa ssa in
   let stats = Dfg.stats circuit in
-  let run ?vcd args =
+  let run ?vcd ?sim:_ args =
     let tracer = Option.map (fun v -> Trace.asim_tracer v func) vcd in
     let on_fire = Option.map fst tracer in
     let outcome = Asim.run ~timing ?on_fire ssa ~args in

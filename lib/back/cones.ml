@@ -420,15 +420,28 @@ let compile (program : Ast.program) ~entry : Design.t =
   let program, pass_trace = Passes.run_program_passes pipeline program ~entry in
   let nl = synthesize program ~entry in
   let report = Area.analyze nl in
-  let run ?vcd args =
+  let run ?vcd ?(sim = Design.Compiled) args =
     let inputs =
       List.map2
         (fun (name, _) v -> (name, v))
         (Netlist.inputs nl) args
     in
     let probe = Option.map (fun v -> Trace.neteval_probe v nl) vcd in
-    let outputs, st = Neteval.eval_combinational_stats ?probe nl ~inputs in
+    let outputs, st =
+      match sim with
+      | Design.Compiled -> Netcomp.eval_combinational_stats ?probe nl ~inputs
+      | Design.Event_driven ->
+        Neteval.eval_combinational_stats ?probe nl ~inputs
+      | Design.Full_sweep ->
+        Neteval.eval_combinational_stats ~strategy:Neteval.Full_sweep ?probe
+          nl ~inputs
+    in
     let metrics = Metrics.create () in
+    Metrics.set_string metrics "sim.engine"
+      (match sim with
+      | Design.Compiled when Netcomp.compilable nl -> "compiled"
+      | Design.Compiled | Design.Event_driven -> "event"
+      | Design.Full_sweep -> "sweep");
     Metrics.set_int metrics "sim.nodes_evaluated" st.Neteval.nodes_evaluated;
     Metrics.set_int metrics "sim.events" st.Neteval.events;
     { Design.result = List.assoc_opt "result" outputs;

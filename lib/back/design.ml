@@ -7,6 +7,25 @@
    uniform behavioural interface (run on inputs, observe outputs and
    timing) plus optional structural views (area report, Verilog). *)
 
+(* Which simulation engine executes the behavioural run.  Compiled is
+   the levelized-closure fast path (Netcomp / Fsmdcomp); the two
+   interpreters survive as differential oracles — Event_driven is the
+   change-propagating Neteval / instruction-walking Rtlsim, Full_sweep
+   re-evaluates every node each settle.  Backends without a compiled
+   engine (or without multiple engines at all) ignore the selection. *)
+type engine = Compiled | Event_driven | Full_sweep
+
+let engine_name = function
+  | Compiled -> "compiled"
+  | Event_driven -> "event"
+  | Full_sweep -> "sweep"
+
+let engine_of_name = function
+  | "compiled" -> Some Compiled
+  | "event" -> Some Event_driven
+  | "sweep" -> Some Full_sweep
+  | _ -> None
+
 type run_result = {
   result : Bitvec.t option;
   globals : (string * Bitvec.t) list;
@@ -22,9 +41,11 @@ type run_result = {
 type t = {
   design_name : string;
   backend : string;
-  run : ?vcd:Vcd.t -> Bitvec.t list -> run_result;
+  run : ?vcd:Vcd.t -> ?sim:engine -> Bitvec.t list -> run_result;
       (* [vcd]: trace the behavioural simulation as a waveform; backends
-         whose simulator has no trace hook ignore it *)
+         whose simulator has no trace hook ignore it.
+         [sim]: engine selection (default Compiled); backends with a
+         single simulator ignore it *)
   area : unit -> Area.report option;
   verilog : unit -> string option;
   netlist : unit -> Netlist.t option;

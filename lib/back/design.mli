@@ -5,6 +5,20 @@
     machine), so a design exposes a uniform behavioural interface — run on
     inputs, observe outputs and timing — plus optional structural views. *)
 
+type engine =
+  | Compiled  (** levelized-closure fast path ({!Netcomp}/{!Fsmdcomp}) *)
+  | Event_driven  (** interpreting oracle ({!Neteval}/{!Rtlsim}) *)
+  | Full_sweep  (** every-node re-evaluation oracle *)
+      (** Which simulation engine executes the behavioural run.  The two
+          interpreters survive as differential oracles for the compiled
+          engine ([chlsc compile --verify-sim]); backends with a single
+          simulator ignore the selection. *)
+
+val engine_name : engine -> string
+(** ["compiled"], ["event"], ["sweep"] — the [--sim] flag values. *)
+
+val engine_of_name : string -> engine option
+
 type run_result = {
   result : Bitvec.t option;
   globals : (string * Bitvec.t) list;  (** scalar globals after the run *)
@@ -21,11 +35,12 @@ type run_result = {
 type t = {
   design_name : string;
   backend : string;
-  run : ?vcd:Vcd.t -> Bitvec.t list -> run_result;
+  run : ?vcd:Vcd.t -> ?sim:engine -> Bitvec.t list -> run_result;
       (** [vcd]: trace the behavioural simulation as a waveform (the FSMD
           backends trace per-cycle register state, CASH traces token
           firings); backends whose simulator has no trace hook ignore
-          it *)
+          it.  [sim]: engine selection, default {!Compiled}; backends
+          with a single simulator ignore it *)
   area : unit -> Area.report option;
   verilog : unit -> string option;
   netlist : unit -> Netlist.t option;

@@ -597,7 +597,7 @@ let compile_with_policy ~backend_name ~dialect ~policy
          ~lowers:false)
       program ~entry
   in
-  let run ?vcd:_ args =
+  let run ?vcd:_ ?sim:_ args =
     let outcome = run ~policy program ~entry ~args in
     let globals =
       List.filter_map

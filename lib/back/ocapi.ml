@@ -218,24 +218,8 @@ let build (b : builder) : Fsmd.t =
 (** Wrap the generated structure as a Design. *)
 let to_design (b : builder) : Design.t =
   let fsmd = build b in
-  let run ?vcd args =
-    let trace = Option.map (fun v -> Trace.rtlsim_trace v fsmd) vcd in
-    let outcome = Rtlsim.run ?trace fsmd ~args in
-    let metrics = Metrics.create () in
-    Metrics.set_int metrics "sim.cycles" outcome.Rtlsim.cycles;
-    Metrics.set metrics "sim.states_visited"
-      (Metrics.List
-         (Array.to_list
-            (Array.map
-               (fun n -> Metrics.Int n)
-               outcome.Rtlsim.states_visited)));
-    { Design.result = outcome.Rtlsim.return_value;
-      globals = outcome.Rtlsim.globals;
-      memories = outcome.Rtlsim.memories;
-      cycles = Some outcome.Rtlsim.cycles;
-      time_units = None;
-      metrics }
-  in
+  let engine = lazy (Fsmdcomp.create fsmd) in
+  let run ?vcd ?sim args = Fsmd_common.simulate ~engine ?vcd ?sim fsmd ~args in
   let elaborated = lazy (Rtlgen.elaborate fsmd) in
   { Design.design_name = b.name;
     backend = "ocapi";

@@ -225,10 +225,20 @@ let compile ?(resources = Schedule.default_allocation)
     Fsmd.of_func func ~schedule_block:(fun blk ->
         Schedule.list_schedule func resources blk.Cir.instrs)
   in
-  let run ?vcd:_ args =
+  let run ?vcd:_ ?sim:_ args =
     let kernel, done_sig, result = of_fsmd fsmd ~args in
     match run_until kernel ~stop:done_sig ~max_cycles:2_000_000 with
-    | Error `Timeout -> failwith "systemc: timeout"
+    | Error `Timeout ->
+      (* carry cycles + current FSM state like the other simulators, so
+         chlsc can exit 3 with a partial outcome instead of crashing *)
+      let state =
+        match
+          List.find_opt (fun s -> s.sig_name = "state") kernel.signals
+        with
+        | Some s -> read_int s
+        | None -> -1
+      in
+      raise (Rtlsim.Timeout { cycles = kernel.cycle; state })
     | Ok cycles ->
       let metrics = Metrics.create () in
       Metrics.set_int metrics "sim.cycles" cycles;

@@ -21,6 +21,7 @@
    frames. *)
 
 exception Runtime_error of string
+exception Internal_error of string * Ast.loc
 exception Deadlock
 exception Timeout
 exception Return_value of Bitvec.t option
@@ -28,6 +29,13 @@ exception Break_exn
 exception Continue_exn
 
 let error fmt = Printf.ksprintf (fun m -> raise (Runtime_error m)) fmt
+
+(* An invariant the front end was supposed to establish does not hold.
+   Raised (with the offending expression's location) instead of
+   [assert false] so the CLI can print a located diagnostic rather than
+   crash the process. *)
+let internal_error loc fmt =
+  Printf.ksprintf (fun m -> raise (Internal_error (m, loc))) fmt
 
 type store = {
   mutable mem : Bitvec.t array;
@@ -196,7 +204,12 @@ and eval_binop env op a b =
     | Ast.Le -> bool_result (if signed then sle va vb else ule va vb)
     | Ast.Gt -> bool_result (if signed then slt vb va else ult vb va)
     | Ast.Ge -> bool_result (if signed then sle vb va else ule vb va)
-    | Ast.Log_and | Ast.Log_or -> assert false)
+    | Ast.Log_and | Ast.Log_or ->
+      (* [eval] rewrites the short-circuit operators before dispatching
+         here; reaching this branch means that lowering missed a case *)
+      internal_error a.Ast.eloc
+        "short-circuit operator %s reached the scalar binop evaluator"
+        (match op with Ast.Log_and -> "&&" | _ -> "||"))
 
 and eval_lvalue env (e : Ast.expr) : int =
   match e.e with

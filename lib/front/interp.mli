@@ -13,6 +13,13 @@
     its cycle-accurate simulator on. *)
 
 exception Runtime_error of string
+
+exception Internal_error of string * Ast.loc
+(** An invariant the front end was supposed to establish does not hold
+    (e.g. a short-circuit operator surviving to the scalar binop
+    evaluator).  Located so the CLI renders a [file:line:col] diagnostic
+    instead of crashing on [assert false]. *)
+
 exception Deadlock
 exception Timeout
 
@@ -61,6 +68,13 @@ val eval : env -> Ast.expr -> Bitvec.t
 
 val eval_lvalue : env -> Ast.expr -> int
 (** The address of an lvalue. *)
+
+val eval_binop : env -> Ast.binop -> Ast.expr -> Ast.expr -> Bitvec.t
+(** Scalar binary-operator semantics (pointer arithmetic included) on
+    already-lowered operands.  The short-circuit operators are rewritten
+    by {!eval} before this level.
+    @raise Internal_error on [Log_and]/[Log_or], which must not reach the
+    scalar evaluator. *)
 
 val as_recv : Ast.expr -> (string * Ctypes.t option) option
 (** Recognize the statement-position receive forms: a bare [recv(c)] or

@@ -344,8 +344,8 @@ let tick t =
 
 (** Evaluate a purely combinational netlist once; also returns the
     evaluator counters for that settle. *)
-let eval_combinational_stats ?probe netlist ~inputs =
-  let t = create netlist in
+let eval_combinational_stats ?strategy ?probe netlist ~inputs =
+  let t = create ?strategy netlist in
   Option.iter (set_probe t) probe;
   settle t ~inputs;
   ( List.map (fun (name, s) -> (name, t.values.(s))) (Netlist.outputs netlist),

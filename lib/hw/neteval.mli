@@ -76,9 +76,11 @@ val eval_combinational :
 (** Evaluate a purely combinational netlist once; returns the outputs. *)
 
 val eval_combinational_stats :
-  ?probe:probe -> Netlist.t -> inputs:(string * Bitvec.t) list ->
+  ?strategy:strategy -> ?probe:probe ->
+  Netlist.t -> inputs:(string * Bitvec.t) list ->
   (string * Bitvec.t) list * stats
-(** Like [eval_combinational] but also returns the evaluator counters. *)
+(** Like [eval_combinational] but also returns the evaluator counters
+    and accepts a settle strategy (default [Event_driven]). *)
 
 val drive :
   t -> inputs:(string * Bitvec.t) list -> done_name:string ->

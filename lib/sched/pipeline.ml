@@ -219,7 +219,20 @@ type result = {
   sequential_cycles : int; (* one iteration without pipelining *)
   schedule_length : int; (* depth of one iteration's schedule *)
   speedup : float; (* asymptotic: sequential_cycles / ii *)
+  fallback : bool; (* II search diverged; this is the list schedule *)
 }
+
+(* II values above this are not pipelining in any useful sense (and the
+   search is linear, so a huge ResMII — e.g. thousands of loads through
+   one memory port — would scan thousands of IIs); give up and fall back
+   to the sequential list schedule instead. *)
+let ii_search_limit = 4096
+
+(* How many loops fell back; lib/sched can't see Obs.Metrics, so the
+   driver layers (bench E2, chlsc analyze) export this counter as the
+   sched.modulo.fallbacks metric. *)
+let fallbacks = ref 0
+let fallback_count () = !fallbacks
 
 (** Iterative modulo scheduling: place operations at the smallest start
     times satisfying dependences, wrapping resource use modulo II; raise II
@@ -318,20 +331,13 @@ let modulo_schedule ?(resources = Schedule.default_allocation)
     end
   in
   let rec search ii =
-    if ii > 4096 then failwith "modulo scheduling: II diverged"
+    if ii > ii_search_limit then None
     else
       match try_ii ii with
-      | Some final -> (ii, final)
+      | Some final -> Some (ii, final)
       | None -> search (ii + 1)
   in
   let start_ii = max rmii smii in
-  let ii, final = search start_ii in
-  let schedule_length =
-    Array.fold_left
-      (fun acc i -> max acc i)
-      0
-      (Array.mapi (fun i t -> t + latency.of_instr body.instrs.(i)) final)
-  in
   (* sequential baseline: list schedule of one iteration, no chaining *)
   let seq =
     Array.to_list body.instrs
@@ -347,9 +353,30 @@ let modulo_schedule ?(resources = Schedule.default_allocation)
     max sched.Schedule.num_steps 1
   in
   ignore seq;
-  { ii;
-    rec_mii = rmii;
-    res_mii = smii;
-    sequential_cycles = seq_scheduled;
-    schedule_length;
-    speedup = float_of_int seq_scheduled /. float_of_int ii }
+  match search start_ii with
+  | Some (ii, final) ->
+    let schedule_length =
+      Array.fold_left
+        (fun acc i -> max acc i)
+        0
+        (Array.mapi (fun i t -> t + latency.of_instr body.instrs.(i)) final)
+    in
+    { ii;
+      rec_mii = rmii;
+      res_mii = smii;
+      sequential_cycles = seq_scheduled;
+      schedule_length;
+      speedup = float_of_int seq_scheduled /. float_of_int ii;
+      fallback = false }
+  | None ->
+    (* II diverged (this used to be a [failwith]): fall back to the
+       unpipelined list schedule — initiating one iteration per
+       sequential latency is always legal, just a 1.0x speedup *)
+    incr fallbacks;
+    { ii = seq_scheduled;
+      rec_mii = rmii;
+      res_mii = smii;
+      sequential_cycles = seq_scheduled;
+      schedule_length = seq_scheduled;
+      speedup = 1.0;
+      fallback = true }

@@ -47,11 +47,26 @@ type result = {
   sequential_cycles : int;  (** one iteration without pipelining *)
   schedule_length : int;  (** depth of one iteration's schedule *)
   speedup : float;  (** asymptotic: sequential_cycles / ii *)
+  fallback : bool;
+      (** the II search diverged (II would exceed 4096) and the result is
+          the unpipelined list schedule — [ii = sequential_cycles],
+          [speedup = 1.0] *)
 }
+
+val ii_search_limit : int
+(** Largest initiation interval the search will try (4096); a loop whose
+    minimum II exceeds it is left unpipelined ([fallback = true]). *)
+
+val fallback_count : unit -> int
+(** How many {!modulo_schedule} calls have fallen back to list
+    scheduling in this process; exported by the driver layers as the
+    [sched.modulo.fallbacks] metric. *)
 
 val modulo_schedule :
   ?resources:Schedule.resources -> ?latency:latency_model -> Cir.func ->
   result
 (** Iterative modulo scheduling of the innermost loop, raising II from
-    max(RecMII, ResMII) until a legal schedule exists.
+    max(RecMII, ResMII) until a legal schedule exists.  When no legal II
+    <= 4096 exists the loop is left unpipelined ([fallback = true])
+    rather than aborting the compile.
     @raise Irregular as {!extract_loop}. *)

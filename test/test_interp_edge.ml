@@ -219,6 +219,34 @@ let test_deep_expression_nesting () =
        (Printf.sprintf "int f(void) { return %s1%s; }" expr close)
        ~entry:"f" ~args:[])
 
+let test_short_circuit_internal_error () =
+  (* The scalar binop evaluator must never see && / || — eval rewrites
+     them into muxes first.  If a lowering change lets one through, the
+     process used to die on [assert false]; now it raises a located
+     Internal_error the CLI renders as a file:line:col diagnostic. *)
+  let program = Typecheck.parse_and_check "int f(int a) { return a; }" in
+  let store =
+    { Interp.mem = Array.make 64 (Bitvec.of_int ~width:64 0);
+      sp = 0;
+      globals = Hashtbl.create 4;
+      heap_next = Interp.heap_base }
+  in
+  let env =
+    { Interp.store; program; scopes = []; steps = 0; fuel = 1000 }
+  in
+  let loc = { Ast.line = 42; col = 7 } in
+  let one = Ast.mk_expr ~loc (Ast.Const (1L, Ctypes.int_t)) in
+  List.iter
+    (fun op ->
+      match Interp.eval_binop env op one one with
+      | _ -> Alcotest.fail "short-circuit op reached the scalar evaluator"
+      | exception Interp.Internal_error (msg, eloc) ->
+        Alcotest.(check bool) "diagnostic names the operator" true
+          (String.length msg > 0);
+        Alcotest.(check int) "location line survives" 42 eloc.Ast.line;
+        Alcotest.(check int) "location column survives" 7 eloc.Ast.col)
+    [ Ast.Log_and; Ast.Log_or ]
+
 let suite =
   ( "interp-edge",
     [ Alcotest.test_case "multiple channels" `Quick
@@ -239,4 +267,6 @@ let suite =
       Alcotest.test_case "early return in loop" `Quick
         test_early_return_in_loop;
       Alcotest.test_case "deep expression nesting" `Quick
-        test_deep_expression_nesting ] )
+        test_deep_expression_nesting;
+      Alcotest.test_case "short-circuit ops raise Internal_error" `Quick
+        test_short_circuit_internal_error ] )

@@ -246,6 +246,56 @@ let test_pipeline_rejects_irregular () =
   | exception Pipeline.Irregular _ -> ()
   | _ -> Alcotest.fail "expected the irregular loop to be rejected"
 
+let test_pipeline_ii_divergence_falls_back () =
+  (* Regression: a loop whose ResMII exceeds the II search limit (4096)
+     used to abort the whole compile with [failwith "modulo scheduling:
+     II diverged"].  4100 loads through one single-read-port region give
+     ResMII = 4100, so the search starts past the limit; the loop must
+     now come back unpipelined with [fallback = true] and bump the
+     process-wide counter the driver layers export as
+     sched.modulo.fallbacks.  Independent accumulators keep RecMII tiny
+     so only the resource bound diverges. *)
+  let n_stmts = 410 and loads_per_stmt = 10 in
+  let stmt s =
+    let loads =
+      List.init loads_per_stmt (fun k ->
+          Printf.sprintf "buf[(i + %d) & 7]" ((s * loads_per_stmt) + k))
+    in
+    Printf.sprintf "s%d = s%d + %s;" s s (String.concat " + " loads)
+  in
+  let src =
+    Printf.sprintf
+      {|
+      int buf[8];
+      int f(int n) {
+        %s
+        for (int i = 0; i < 4; i = i + 1) {
+          %s
+        }
+        return s0;
+      }
+      |}
+      (String.concat "\n        "
+         (List.init n_stmts (fun s -> Printf.sprintf "int s%d = n;" s)))
+      (String.concat "\n          " (List.init n_stmts stmt))
+  in
+  let func = lower src ~entry:"f" in
+  let before = Pipeline.fallback_count () in
+  let r = Pipeline.modulo_schedule func in
+  Alcotest.(check bool)
+    (Printf.sprintf "ResMII diverges past the search limit (res_mii=%d)"
+       r.Pipeline.res_mii)
+    true
+    (r.Pipeline.res_mii > Pipeline.ii_search_limit);
+  Alcotest.(check bool) "the loop falls back instead of dying" true
+    r.Pipeline.fallback;
+  Alcotest.(check int) "fallback counter bumped" (before + 1)
+    (Pipeline.fallback_count ());
+  Alcotest.(check int) "II degenerates to the sequential schedule"
+    r.Pipeline.sequential_cycles r.Pipeline.ii;
+  Alcotest.(check (float 1e-9)) "speedup is exactly 1.0" 1.0
+    r.Pipeline.speedup
+
 (* --- ILP limits --- *)
 
 let matmul_trace =
@@ -329,6 +379,8 @@ let suite =
         test_pipeline_recurrence_bound;
       Alcotest.test_case "pipeline rejects irregular" `Quick
         test_pipeline_rejects_irregular;
+      Alcotest.test_case "pipeline II divergence falls back" `Quick
+        test_pipeline_ii_divergence_falls_back;
       Alcotest.test_case "ILP monotone in window" `Quick
         test_ilp_monotone_in_window;
       Alcotest.test_case "ILP renaming helps" `Quick test_ilp_renaming_helps;
