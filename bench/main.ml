@@ -84,6 +84,13 @@ let () =
     Simcomp_bench.run_smoke ();
     exit 0
   end;
+  (* CI entry: the serve bench alone, so BENCH_serve.json (two-process
+     store persistence + Domain-pool throughput, every response
+     oracle-checked) regenerates on every push *)
+  if Array.exists (fun a -> a = "--serve-smoke") Sys.argv then begin
+    Serve_bench.run_smoke ();
+    exit 0
+  end;
   print_endline
     "CHLS experiment harness — reproducing Edwards, \"The Challenges of \
      Hardware\nSynthesis from C-like Languages\" (DATE 2005).";
@@ -95,6 +102,10 @@ let () =
   Neteval_bench.run_all ();
   (* the driver sweep's cache counters are likewise deterministic *)
   Driver_bench.run_all ();
+  (* the serve bench's cache-provenance counts and oracle checks are
+     deterministic too; it must precede anything that might spawn a
+     domain, because its persistence phase forks *)
+  Serve_bench.run_all ();
   if not skip_perf then begin
     (* compiled vs interpreting engines: wall-clock cycles/sec, so it sits
        with the perf benchmarks (the equivalence check inside always runs

@@ -58,9 +58,37 @@ let metrics_json_arg =
   Arg.(value & opt (some string) None
        & info [ "metrics-json" ] ~docv:"OUT.json"
            ~doc:
-             "Write a machine-readable run report (schema chls.metrics/1): \
+             "Write a machine-readable run report (schema chls.metrics/2): \
               design facts, the per-pass compile trace, simulator counters \
               and the run outcome, rendered deterministically")
+
+(* --- the persistent design cache (lib/core/cache.ml) --- *)
+
+let cache_dir_arg =
+  Arg.(value & opt (some string) None
+       & info [ "cache-dir" ] ~docv:"DIR"
+           ~doc:
+             "Attach a persistent on-disk design cache under $(docv) \
+              (created if missing).  Compiled designs survive process \
+              restarts and are shared with co-operating workers; corrupt \
+              or version-skewed entries silently degrade to a recompile")
+
+let cache_max_bytes_arg =
+  Arg.(value & opt (some int) None
+       & info [ "cache-max-bytes" ] ~docv:"N"
+           ~doc:
+             "Byte budget for the on-disk cache (default 256 MiB); \
+              least-recently-used entries are evicted past it")
+
+let attach_cache cache_dir cache_max_bytes =
+  match cache_dir with
+  | None -> ()
+  | Some dir -> (
+    match Driver.attach_disk_cache ?max_bytes:cache_max_bytes ~dir () with
+    | Ok _ -> ()
+    | Error msg ->
+      Printf.eprintf "cannot open cache %s: %s\n" dir msg;
+      exit 1)
 
 (* chlsc check --races: the static concurrency checker (lib/analysis).
    Diagnostics print as file:line:col with the dialect's severity; exit
@@ -92,7 +120,7 @@ let run_races file dialect_name metrics_json =
   | None -> ()
   | Some path ->
     let m = Metrics.create () in
-    Metrics.set_string m "schema" "chls.metrics/1";
+    Metrics.set_string m "schema" "chls.metrics/2";
     Metrics.set_string m "check.dialect" dialect.Dialect.name;
     List.iter
       (fun (k, n) -> Metrics.set_int m ("check." ^ k) n)
@@ -423,7 +451,9 @@ let print_state_profile (r : Design.run_result) =
 let compile_cmd =
   let doc = "Synthesize the program with a surveyed scheme" in
   let run file entry backend args verilog area stats trace_passes dump_ir
-      verify_passes vcd vcd_netlist profile metrics_json sim verify_sim =
+      verify_passes vcd vcd_netlist profile metrics_json sim verify_sim
+      cache_dir cache_max_bytes =
+    attach_cache cache_dir cache_max_bytes;
     let source = read_file file in
     let verify =
       if not verify_passes then []
@@ -451,7 +481,7 @@ let compile_cmd =
         exit 1
     in
     let m = Metrics.create () in
-    Metrics.set_string m "schema" "chls.metrics/1";
+    Metrics.set_string m "schema" "chls.metrics/2";
     Metrics.set_string m "design.name" entry;
     Metrics.set_string m "design.backend" design.Design.backend;
     List.iter
@@ -469,6 +499,9 @@ let compile_cmd =
         (* fold in the driver's timings and cache counters as they stand
            at write time *)
         Metrics.merge ~into:m (Driver.metrics session);
+        List.iter
+          (fun (k, v) -> Metrics.set_int m k v)
+          (Driver.cache_metrics ());
         Metrics.write_file m path;
         Printf.printf "wrote %s\n" path
       | None -> ()
@@ -656,7 +689,8 @@ let compile_cmd =
     Term.(const run $ file_arg $ entry_arg $ backend_arg $ args_arg
           $ verilog_arg $ area_flag $ stats_flag $ trace_passes_flag
           $ dump_ir_arg $ verify_passes_flag $ vcd_arg $ vcd_netlist_arg
-          $ profile_flag $ metrics_json_arg $ sim_arg $ verify_sim_flag)
+          $ profile_flag $ metrics_json_arg $ sim_arg $ verify_sim_flag
+          $ cache_dir_arg $ cache_max_bytes_arg)
 
 (* --- chlsc compare: one source through every registered backend --- *)
 
@@ -706,7 +740,9 @@ let compare_cmd =
                "Restrict the comparison to these comma-separated backends \
                 (default: all registered)")
   in
-  let run file entry vec_strings backends_filter metrics_json =
+  let run file entry vec_strings backends_filter metrics_json cache_dir
+      cache_max_bytes =
+    attach_cache cache_dir cache_max_bytes;
     let source = read_file file in
     let session = Driver.create ~entry source in
     let backends =
@@ -738,7 +774,7 @@ let compare_cmd =
         vectors
     in
     let m = Metrics.create () in
-    Metrics.set_string m "schema" "chls.metrics/1";
+    Metrics.set_string m "schema" "chls.metrics/2";
     Metrics.set_string m "compare.file" file;
     Metrics.set_string m "compare.entry" entry;
     Metrics.set_int m "compare.vectors" (List.length vectors);
@@ -870,6 +906,7 @@ let compare_cmd =
       [ "backend"; "status"; "result"; "cycles"; "wall"; "area"; "oracle" ]
       rows;
     Metrics.merge ~into:m (Driver.metrics session);
+    List.iter (fun (k, v) -> Metrics.set_int m k v) (Driver.cache_metrics ());
     let hits =
       match Metrics.find m "driver.cache.hits" with
       | Some (Metrics.Int n) -> n
@@ -894,7 +931,139 @@ let compare_cmd =
   in
   Cmd.v (Cmd.info "compare" ~doc)
     Term.(const run $ file_arg $ entry_arg $ args_all $ backends_arg
-          $ metrics_json_arg)
+          $ metrics_json_arg $ cache_dir_arg $ cache_max_bytes_arg)
+
+(* --- chlsc serve / client: the synthesis daemon (lib/core/serve.ml) --- *)
+
+let socket_arg =
+  Arg.(required & opt (some string) None
+       & info [ "socket" ] ~docv:"PATH"
+           ~doc:"Unix-domain socket path the daemon listens on")
+
+let serve_cmd =
+  let doc =
+    "Run the synthesis service: a daemon on a Unix-domain socket speaking \
+     length-prefixed JSON (compile / compare / check / stats / shutdown), \
+     dispatching onto an OCaml Domain pool with the compiled-design cache \
+     shared across workers"
+  in
+  let domains_arg =
+    Arg.(value & opt (some int) None
+         & info [ "domains" ] ~docv:"N"
+             ~doc:
+               "Worker domains (default: the runtime's recommended count)")
+  in
+  let queue_arg =
+    Arg.(value & opt (some int) None
+         & info [ "queue" ] ~docv:"N"
+             ~doc:
+               "Job-queue capacity (default 4 x domains); submissions \
+                block past it, which is the daemon's backpressure")
+  in
+  let batch_arg =
+    Arg.(value & opt (some int) None
+         & info [ "max-batch" ] ~docv:"N"
+             ~doc:
+               "How many queued jobs one worker drains at a time \
+                (default 16), grouped by source")
+  in
+  let run socket domains queue max_batch cache_dir cache_max_bytes =
+    match
+      Serve.run ?domains ?queue_capacity:queue ?max_batch ?cache_dir
+        ?cache_max_bytes ~log:prerr_endline ~socket ()
+    with
+    | Ok () -> ()
+    | Error msg ->
+      Printf.eprintf "serve: %s\n" msg;
+      exit 1
+  in
+  Cmd.v (Cmd.info "serve" ~doc)
+    Term.(const run $ socket_arg $ domains_arg $ queue_arg $ batch_arg
+          $ cache_dir_arg $ cache_max_bytes_arg)
+
+let client_cmd =
+  let doc =
+    "Send raw-JSON requests to a running $(b,chlsc serve) daemon and print \
+     each JSON response on its own line (requests come from the command \
+     line, or stdin one-per-line when none are given)"
+  in
+  let requests_arg =
+    Arg.(value & pos_all string []
+         & info [] ~docv:"JSON"
+             ~doc:"Request objects, e.g. '{\"op\":\"stats\"}'")
+  in
+  let run socket requests =
+    let requests =
+      if requests <> [] then requests
+      else
+        In_channel.input_all stdin |> String.split_on_char '\n'
+        |> List.filter (fun l -> String.trim l <> "")
+    in
+    match Serve.Client.connect ~socket with
+    | Error msg ->
+      Printf.eprintf "client: %s\n" msg;
+      exit 1
+    | Ok c ->
+      let failed = ref false in
+      List.iter
+        (fun request ->
+          match Serve.Client.rpc c request with
+          | Ok response -> print_endline response
+          | Error msg ->
+            Printf.eprintf "client: %s\n" msg;
+            failed := true)
+        requests;
+      Serve.Client.close c;
+      if !failed then exit 1
+  in
+  Cmd.v (Cmd.info "client" ~doc)
+    Term.(const run $ socket_arg $ requests_arg)
+
+let cache_cmd =
+  let doc = "Inspect or clear the persistent design cache" in
+  let dir_arg =
+    Arg.(required & opt (some string) None
+         & info [ "cache-dir" ] ~docv:"DIR" ~doc:"The cache directory")
+  in
+  let open_store dir =
+    match Cache.Disk.open_dir dir with
+    | Ok d -> d
+    | Error msg ->
+      Printf.eprintf "cannot open cache %s: %s\n" dir msg;
+      exit 1
+  in
+  let stats_cmd =
+    let doc =
+      "Print the store's residency and health counters (entries, bytes, \
+       corrupt / version-skewed entries dropped on open)"
+    in
+    let run dir =
+      let d = open_store dir in
+      let c = Cache.store_counters (Cache.Disk.store d) in
+      Printf.printf "cache %s\n" (Cache.Disk.dir d);
+      List.iter
+        (fun (k, v) -> Printf.printf "  %-14s %d\n" k v)
+        [ ("entries", c.Cache.entries);
+          ("bytes", c.Cache.bytes);
+          ("corrupt", c.Cache.corrupt);
+          ("version_skew", c.Cache.version_skew) ]
+    in
+    Cmd.v (Cmd.info "stats" ~doc) Term.(const run $ dir_arg)
+  in
+  let clear_cmd =
+    let doc = "Delete every entry in the store" in
+    let run dir =
+      let d = open_store dir in
+      let s = Cache.Disk.store d in
+      let n = (Cache.store_counters s).Cache.entries in
+      Cache.store_clear s;
+      Printf.printf "cleared %d entr%s from %s\n" n
+        (if n = 1 then "y" else "ies")
+        (Cache.Disk.dir d)
+    in
+    Cmd.v (Cmd.info "clear" ~doc) Term.(const run $ dir_arg)
+  in
+  Cmd.group (Cmd.info "cache" ~doc) [ stats_cmd; clear_cmd ]
 
 let analyze_cmd =
   let doc =
@@ -981,4 +1150,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ table1_cmd; check_cmd; run_cmd; compile_cmd; compare_cmd;
-            analyze_cmd ]))
+            analyze_cmd; serve_cmd; client_cmd; cache_cmd ]))

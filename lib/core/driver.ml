@@ -54,11 +54,55 @@ let render_error ?file = function
 (* --- cache bookkeeping --- *)
 
 (* content hash -> design; process-wide so sessions over the same source
-   (and repeated sessions in one run) share artifacts *)
-let design_cache : (string, Design.t) Hashtbl.t = Hashtbl.create 64
+   (and repeated sessions in one run) share artifacts.  The decoded
+   front tier is always on; attaching a byte store (usually Cache.Disk)
+   makes warm-cache state survive restarts and lets workers share.  A
+   design is a bundle of closures, so the codec is Marshal with the
+   Closures flag — only readable by the binary that wrote it, which is
+   why the disk store versions entries by executable digest. *)
+let design_cache : Design.t Cache.t =
+  Cache.create ~name:"designs"
+    ~encode:(fun d ->
+      try Some (Marshal.to_string (d : Design.t) [ Marshal.Closures ])
+      with _ -> None)
+    ~decode:(fun s ->
+      try Some (Marshal.from_string s 0 : Design.t) with _ -> None)
+    ()
 
-let cache_size () = Hashtbl.length design_cache
-let clear_cache () = Hashtbl.reset design_cache
+let cache_size () = Cache.size design_cache
+let clear_cache () = Cache.clear design_cache
+
+let set_cache_store s = Cache.set_store design_cache s
+let cache_store () = Cache.store design_cache
+
+let attach_disk_cache ?max_bytes ~dir () =
+  match Cache.Disk.open_dir ?max_bytes dir with
+  | Ok d ->
+    let s = Cache.Disk.store d in
+    set_cache_store (Some s);
+    Ok s
+  | Error _ as e -> e
+
+(* Global cache-subsystem state (store counters, residency) as metric
+   pairs, for the CLI's reports and [chlsc cache stats]. *)
+let cache_metrics () =
+  let front =
+    [ ("driver.cache.front_entries", cache_size ());
+      ("driver.cache.decode_failures", Cache.decode_failures design_cache) ]
+  in
+  match cache_store () with
+  | None -> front
+  | Some s ->
+    let c = Cache.store_counters s in
+    front
+    @ [ ("driver.store.hits", c.Cache.hits);
+        ("driver.store.misses", c.Cache.misses);
+        ("driver.store.puts", c.Cache.puts);
+        ("driver.store.evictions", c.Cache.evictions);
+        ("driver.store.corrupt", c.Cache.corrupt);
+        ("driver.store.version_skew", c.Cache.version_skew);
+        ("driver.store.entries", c.Cache.entries);
+        ("driver.store.bytes", c.Cache.bytes) ]
 
 let hit t kind =
   Metrics.incr t.metrics "driver.cache.hits";
@@ -122,9 +166,15 @@ let compile t backend =
         Error (Dialect_reject { backend = name; violations })
       | [] -> (
         let key = design_key t backend in
-        match Hashtbl.find_opt design_cache key with
-        | Some design ->
+        match Cache.find design_cache key with
+        | Some (design, `Front) ->
           hit t "design";
+          Ok design
+        | Some (design, `Store) ->
+          (* revived from the persistent store: a hit that did no
+             backend work, distinguished so benchmarks can see
+             restart-survival *)
+          hit t "design_store";
           Ok design
         | None ->
           miss t "design";
@@ -132,7 +182,7 @@ let compile t backend =
           let r =
             match Registry.compile backend prog ~entry:t.entry with
             | design ->
-              Hashtbl.replace design_cache key design;
+              Cache.add design_cache key design;
               Ok design
             | exception Backend.No_c_frontend b ->
               Error (No_c_frontend { backend = b })
@@ -193,4 +243,9 @@ let reference t ~args =
     | exception Interp.Runtime_error message ->
       Error
         (Backend_error
-           { backend = "reference"; message; loc = Ast.no_loc }))
+           { backend = "reference"; message; loc = Ast.no_loc })
+    | exception Interp.Internal_error (message, loc) ->
+      Error
+        (Backend_error
+           { backend = "reference"; message = "internal error: " ^ message;
+             loc }))

@@ -67,19 +67,46 @@ val compile : session -> Registry.t -> (Design.t, error) result
 val compile_all :
   ?backends:Registry.t list -> session ->
   (Registry.t * (Design.t, error) result) list
-(** {!compile} across [backends] (default: every registered backend, in
-    registration order) — the frontend runs once, each backend gets its
-    own accept/reject verdict. *)
+(** {!compile} across [backends] — the frontend runs once, each backend
+    gets its own accept/reject verdict.  Verdict order is contractual:
+    exactly the order of [backends], defaulting to registry declaration
+    (Table 1) order — never the iteration order of any hash table — so
+    compare tables, metrics reports and the serve protocol are
+    byte-stable across runs. *)
 
 val reference : session -> args:int list -> (int, error) result
 (** The software oracle on the session's (already parsed) program — the
     frontend is amortized here too. *)
 
-(** {1 The process-wide artifact cache} *)
+(** {1 The process-wide artifact cache}
+
+    The driver's memo is a {!Cache.t}: a decoded in-process front tier
+    (always on) over an optional pluggable byte store.  Attaching a
+    {!Cache.Disk} store makes warm-cache state survive restarts —
+    designs are encoded with [Marshal] (closures included), entries are
+    versioned by executable digest and checksummed, and every failure
+    mode degrades to a miss plus a recompile. *)
 
 val cache_size : unit -> int
-(** Designs currently memoized. *)
+(** Designs currently memoized in the decoded front tier. *)
 
 val clear_cache : unit -> unit
-(** Drop every memoized design (benchmarks use this to measure cold
-    compiles; sessions keep their frontend memo). *)
+(** Drop every front-tier design (benchmarks use this to measure cold
+    compiles and to simulate restarts; sessions keep their frontend
+    memo).  An attached byte store keeps its entries. *)
+
+val attach_disk_cache :
+  ?max_bytes:int -> dir:string -> unit -> (Cache.store, string) result
+(** Open (creating if needed) a persistent design store under [dir] and
+    plug it behind the front tier.  [Error message] if the directory is
+    unusable — the caller decides whether that is fatal. *)
+
+val set_cache_store : Cache.store option -> unit
+(** Plug in (or detach, with [None]) an arbitrary byte store. *)
+
+val cache_store : unit -> Cache.store option
+
+val cache_metrics : unit -> (string * int) list
+(** Cache-subsystem gauges and counters ([driver.cache.front_entries],
+    [driver.store.hits/misses/puts/evictions/corrupt/version_skew/...])
+    for metrics reports and [chlsc cache stats]. *)

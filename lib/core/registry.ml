@@ -49,7 +49,17 @@ let get s =
       (Unknown_backend
          (Printf.sprintf "unknown backend %S; registered: %s" s (catalog ())))
 
-let descriptor (h : t) = List.assoc h.id !table
+(* A handle can only be forged by constructing the abstract type through
+   a stale marshalled value or similar; answer with the catalog instead
+   of an anonymous Not_found. *)
+let descriptor (h : t) =
+  match List.assoc_opt h.id !table with
+  | Some d -> d
+  | None ->
+    raise
+      (Unknown_backend
+         (Printf.sprintf "stale backend handle %S; registered: %s" h.id
+            (catalog ())))
 let name (h : t) = h.id
 let aliases h = (descriptor h).Backend.aliases
 let description h = (descriptor h).Backend.description

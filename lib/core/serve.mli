@@ -1,0 +1,179 @@
+(** [chlsc serve]: the synthesis service.
+
+    A daemon on a Unix-domain socket speaking a length-prefixed JSON
+    wire protocol, dispatching requests onto an OCaml 5 Domain pool.
+    [Design.t] is pure data, so the sharding story is simple: each
+    worker domain owns its own {!Driver.session}s (the parsed frontend),
+    while compiled designs are shared across domains — and across
+    restarts and co-operating workers — through the content-hash keyed
+    {!Cache} behind the driver.
+
+    {2 Wire protocol}
+
+    Every frame is a 4-byte big-endian payload length followed by that
+    many bytes of JSON (one request or one response per frame; frames
+    over {!Frame.max_frame} are rejected).  Requests carry an ["op"] and
+    an optional ["id"] that is echoed verbatim in the response;
+    responses to pipelined requests may arrive out of order, so the
+    ["id"] is the correlator.  Ops:
+
+    - [compile]: [{"op":"compile","source":C,"backend":B,"entry":E,
+      "args":[..]}] — compile through one backend; with ["args"], run
+      the design and verify the result against the interpreter oracle
+      ([matches_reference]).
+    - [compare]: [{"op":"compare","source":C,"backends":[..],
+      "args":[[..],..]}] — per-backend verdicts in registry order, each
+      accepted backend run on every vector and checked against the
+      oracle.
+    - [check]: [{"op":"check","source":C,"dialect":D}] — the static
+      concurrency checker under the dialect's severity rules.
+    - [stats]: server counters, per-op latency histograms
+      ([chls.metrics/2]) and the cache subsystem's state.
+    - [shutdown]: drain in-flight work, answer, and stop the daemon.
+
+    Error responses are typed, never a dropped connection:
+    [{"id":..,"ok":false,"error":{"kind":K,"message":M}}] with [kind]
+    one of [protocol], [frontend-error], [no-c-frontend],
+    [dialect-reject], [backend-error], [verification-error],
+    [internal]. *)
+
+(** {1 JSON (parsing side; rendering lives in {!Metrics})} *)
+
+module Json : sig
+  val parse : string -> (Metrics.json, string) result
+  (** Strict JSON to the {!Metrics.json} shape ([Int] for integral
+      literals, [Float] otherwise).  [Error message] carries an offset. *)
+
+  val member : string -> Metrics.json -> Metrics.json option
+  (** Object member lookup; [None] on non-objects too. *)
+end
+
+(** {1 Framing} *)
+
+module Frame : sig
+  val max_frame : int
+  (** Upper bound on a frame payload (16 MiB) — oversized lengths are a
+      protocol error, not an allocation. *)
+
+  exception Protocol_error of string
+  (** A malformed frame from the peer (oversized or truncated length /
+      payload). *)
+
+  val write : out_channel -> string -> unit
+  (** One frame: 4-byte big-endian length, then the payload; flushes. *)
+
+  val read : in_channel -> string option
+  (** The next frame's payload, or [None] on clean EOF at a frame
+      boundary.  @raise Protocol_error on oversized or truncated
+      frames. *)
+end
+
+(** {1 Requests} *)
+
+type request =
+  | Compile of {
+      id : Metrics.json;
+      source : string;
+      entry : string;
+      backend : string;
+      args : int list option;
+    }
+  | Compare of {
+      id : Metrics.json;
+      source : string;
+      entry : string;
+      backends : string list option;  (** [None]: every registered *)
+      vectors : int list list;
+    }
+  | Check of { id : Metrics.json; source : string; dialect : string }
+  | Stats of { id : Metrics.json }
+  | Shutdown of { id : Metrics.json }
+
+val request_id : request -> Metrics.json
+
+val parse_request : Metrics.json -> (request, string * Metrics.json) result
+(** Typed decode of one request object; [Error (message, id)] echoes the
+    request's ["id"] (or [Null]) so the error response still correlates. *)
+
+val error_response :
+  ?id:Metrics.json -> kind:string -> string -> Metrics.json
+
+(** {1 The Domain pool} *)
+
+module Pool : sig
+  type t
+
+  val create : ?domains:int -> ?queue_capacity:int -> ?max_batch:int ->
+    unit -> t
+  (** [domains] defaults to [Domain.recommended_domain_count ()].
+      [queue_capacity] (default [4 * domains]) bounds the job queue —
+      {!submit} blocks when it is full, which is the backpressure that
+      stops a fast client from ballooning the daemon.  [max_batch]
+      (default 16) is how many queued jobs one worker drains at a time;
+      a batch is grouped by source so each distinct program parses once
+      per batch. *)
+
+  val domains : t -> int
+
+  val submit : t -> request -> respond:(Metrics.json -> unit) -> unit
+  (** Enqueue one job (blocking while the queue is full).  [respond] is
+      called from a worker domain exactly once — callers serialize their
+      own writes.  After {!shutdown}, responds immediately with a typed
+      [protocol] error. *)
+
+  val drain : t -> unit
+  (** Block until every submitted job has responded. *)
+
+  val shutdown : t -> unit
+  (** {!drain}, then stop and join the worker domains.  Idempotent. *)
+
+  val stats : t -> (string * int) list
+  (** [domains], [queue_capacity], [queued], [active], and the
+      total-jobs counter — for the [stats] op. *)
+
+  val metrics : t -> Metrics.t
+  (** The pool's shared registry: [serve.requests.<op>] counters and
+      [serve.latency.<op>_ms] histograms.  Guarded internally; read it
+      through {!snapshot_metrics}. *)
+
+  val snapshot_metrics : t -> (string * Metrics.json) list
+  (** A consistent point-in-time copy of {!metrics} pairs. *)
+
+  val handle :
+    t -> (string, Driver.session) Hashtbl.t option -> request -> Metrics.json
+  (** The request handler itself (exposed for tests and direct, socketless
+      use): compile/compare/check against the given session table (or a
+      throwaway one), stats/shutdown answered from pool state.  Never
+      raises — internal failures come back as typed [internal] errors. *)
+end
+
+(** {1 The daemon} *)
+
+val run :
+  ?domains:int ->
+  ?queue_capacity:int ->
+  ?max_batch:int ->
+  ?cache_dir:string ->
+  ?cache_max_bytes:int ->
+  ?log:(string -> unit) ->
+  socket:string ->
+  unit ->
+  (unit, string) result
+(** Bind [socket] (unlinking any stale one), serve connections until a
+    [shutdown] request (or SIGINT/SIGTERM), drain the pool and clean up.
+    With [cache_dir], attaches the persistent design store first so
+    every worker — and the next daemon — shares compiled artifacts.
+    [Error message] when the socket cannot be bound. *)
+
+(** {1 A minimal client} *)
+
+module Client : sig
+  type t
+
+  val connect : socket:string -> (t, string) result
+  val rpc : t -> string -> (string, string) result
+  (** Send one raw-JSON request frame, read one response frame (this
+      client keeps one request in flight, so ordering is trivial). *)
+
+  val close : t -> unit
+end

@@ -123,19 +123,137 @@ let render_compact j =
   go j;
   Buffer.contents buf
 
+(* --- histograms --- *)
+
+module Histogram = struct
+  (* Geometric bucket upper bounds in milliseconds: 0.001 ms doubling up
+     to ~537 s.  Fixed bounds keep the JSON rendering (and percentile
+     readouts) deterministic for a given set of observations. *)
+  let bounds = Array.init 30 (fun i -> 0.001 *. (2. ** float_of_int i))
+
+  type h = {
+    counts : int array; (* length bounds + 1; the last is overflow *)
+    mutable n : int;
+    mutable total : float;
+    mutable min_v : float;
+    mutable max_v : float;
+  }
+
+  let create () =
+    { counts = Array.make (Array.length bounds + 1) 0;
+      n = 0;
+      total = 0.;
+      min_v = infinity;
+      max_v = neg_infinity }
+
+  let bucket_of v =
+    let rec go i =
+      if i >= Array.length bounds then i
+      else if v <= bounds.(i) then i
+      else go (i + 1)
+    in
+    go 0
+
+  let observe t v =
+    let b = bucket_of v in
+    t.counts.(b) <- t.counts.(b) + 1;
+    t.n <- t.n + 1;
+    t.total <- t.total +. v;
+    if v < t.min_v then t.min_v <- v;
+    if v > t.max_v then t.max_v <- v
+
+  let count t = t.n
+  let sum t = t.total
+
+  (* The q-th percentile reads as the upper bound of the smallest bucket
+     whose cumulative count reaches rank ceil(q/100 * n), clamped to the
+     largest observation — bucket arithmetic over integer counts, so the
+     readout is deterministic. *)
+  let percentile t q =
+    if t.n = 0 then 0.
+    else begin
+      let rank =
+        max 1 (min t.n (int_of_float (ceil (q /. 100. *. float_of_int t.n))))
+      in
+      let rec go i acc =
+        if i >= Array.length t.counts then t.max_v
+        else
+          let acc = acc + t.counts.(i) in
+          if acc >= rank then
+            if i >= Array.length bounds then t.max_v
+            else Float.min bounds.(i) t.max_v
+          else go (i + 1) acc
+      in
+      go 0 0
+    end
+
+  let to_json t =
+    if t.n = 0 then
+      Obj [ ("count", Int 0) ]
+    else
+      let buckets =
+        List.concat
+          (List.mapi
+             (fun i c ->
+               if c = 0 then []
+               else
+                 [ Obj
+                     [ ( "le_ms",
+                         if i >= Array.length bounds then String "inf"
+                         else Fixed (3, bounds.(i)) );
+                       ("count", Int c) ] ])
+             (Array.to_list t.counts))
+      in
+      Obj
+        [ ("count", Int t.n);
+          ("sum_ms", Fixed (3, t.total));
+          ("min_ms", Fixed (3, t.min_v));
+          ("max_ms", Fixed (3, t.max_v));
+          ("p50_ms", Fixed (3, percentile t 50.));
+          ("p90_ms", Fixed (3, percentile t 90.));
+          ("p99_ms", Fixed (3, percentile t 99.));
+          ("buckets", List buckets) ]
+end
+
 (* --- the registry --- *)
 
-type t = { mutable entries : (string * json) list (* reversed *) }
+(* Histogram cells stay live (mutable) in the registry and materialize to
+   JSON at read time; everything else is a plain JSON value. *)
+type cell = Json of json | Hist of Histogram.h
+
+type t = { mutable entries : (string * cell) list (* reversed *) }
 
 let create () = { entries = [] }
+
+let materialize = function
+  | Json j -> j
+  | Hist h -> Histogram.to_json h
 
 let set t name v =
   if List.mem_assoc name t.entries then
     t.entries <-
-      List.map (fun (k, old) -> (k, if k = name then v else old)) t.entries
-  else t.entries <- (name, v) :: t.entries
+      List.map
+        (fun (k, old) -> (k, if k = name then Json v else old))
+        t.entries
+  else t.entries <- (name, Json v) :: t.entries
 
-let find t name = List.assoc_opt name t.entries
+let find t name = Option.map materialize (List.assoc_opt name t.entries)
+
+let observe_ms t name v =
+  match List.assoc_opt name t.entries with
+  | Some (Hist h) -> Histogram.observe h v
+  | Some (Json _) ->
+    invalid_arg
+      (Printf.sprintf "Metrics.observe_ms: %S is not a histogram" name)
+  | None ->
+    let h = Histogram.create () in
+    Histogram.observe h v;
+    t.entries <- (name, Hist h) :: t.entries
+
+let histogram t name =
+  match List.assoc_opt name t.entries with
+  | Some (Hist h) -> Some h
+  | _ -> None
 let set_int t name n = set t name (Int n)
 let set_bool t name b = set t name (Bool b)
 let set_string t name s = set t name (String s)
@@ -154,7 +272,7 @@ let add_ms t name ms =
     invalid_arg (Printf.sprintf "Metrics.add_ms: %S is not a timer" name)
   | None -> set t name (Fixed (3, ms))
 
-let pairs t = List.rev t.entries
+let pairs t = List.rev_map (fun (k, c) -> (k, materialize c)) t.entries
 
 let merge ~into ?prefix src =
   let rename k =

@@ -29,6 +29,35 @@ val render : json -> string
     scalars inline, nested structures indented two spaces.  No trailing
     newline. *)
 
+val render_compact : json -> string
+(** One-line rendering (the wire format [chlsc serve] frames use); same
+    determinism guarantees as {!render}. *)
+
+(** {1 Latency histograms}
+
+    Fixed geometric buckets (0.001 ms doubling to ~537 s, plus overflow),
+    so the JSON rendering — counts, sum and the bucket-upper-bound
+    percentile readouts — is deterministic for a given observation set.
+    This is the [chls.metrics/2] addition: a registry value may now be a
+    histogram object ([count], [sum_ms], [min_ms]/[max_ms],
+    [p50_ms]/[p90_ms]/[p99_ms], non-empty [buckets]). *)
+
+module Histogram : sig
+  type h
+
+  val create : unit -> h
+  val observe : h -> float -> unit
+  val count : h -> int
+  val sum : h -> float
+
+  val percentile : h -> float -> float
+  (** [percentile h q] for [q] in [0..100]: the upper bound of the
+      smallest bucket reaching rank [ceil (q/100 * count)], clamped to
+      the largest observation; [0.] when empty. *)
+
+  val to_json : h -> json
+end
+
 (** {1 The registry} *)
 
 type t
@@ -51,6 +80,15 @@ val incr : t -> ?by:int -> string -> unit
 
 val add_ms : t -> string -> float -> unit
 (** Timer: accumulate milliseconds into the named [Fixed (3, _)] value. *)
+
+val observe_ms : t -> string -> float -> unit
+(** Record one latency sample into the named histogram, creating it on
+    first observation.  The histogram stays live in the registry and
+    materializes through {!find}/{!pairs}/{!to_json} as its summary
+    object.  @raise Invalid_argument if the name holds a non-histogram. *)
+
+val histogram : t -> string -> Histogram.h option
+(** The live histogram registered under this name, if any. *)
 
 val find : t -> string -> json option
 

@@ -231,8 +231,8 @@ let ii_search_limit = 4096
 (* How many loops fell back; lib/sched can't see Obs.Metrics, so the
    driver layers (bench E2, chlsc analyze) export this counter as the
    sched.modulo.fallbacks metric. *)
-let fallbacks = ref 0
-let fallback_count () = !fallbacks
+let fallbacks = Atomic.make 0
+let fallback_count () = Atomic.get fallbacks
 
 (** Iterative modulo scheduling: place operations at the smallest start
     times satisfying dependences, wrapping resource use modulo II; raise II
@@ -372,7 +372,7 @@ let modulo_schedule ?(resources = Schedule.default_allocation)
     (* II diverged (this used to be a [failwith]): fall back to the
        unpipelined list schedule — initiating one iteration per
        sequential latency is always legal, just a 1.0x speedup *)
-    incr fallbacks;
+    Atomic.incr fallbacks;
     { ii = seq_scheduled;
       rec_mii = rmii;
       res_mii = smii;

@@ -109,6 +109,26 @@ let test_reference_oracle () =
   | Ok v -> Alcotest.(check int) "gcd(1071,462)" 21 v
   | Error e -> Alcotest.fail (Driver.render_error e)
 
+(* Verdict ordering is contractual (driver.mli): compile_all answers in
+   the order of its [backends] argument, defaulting to registry
+   declaration (Table 1) order.  Pin both so a refactor that reaches for
+   a hash table gets caught here, not in a flaky compare table. *)
+let test_compile_all_declared_order () =
+  let s = session () in
+  Alcotest.(check (list string)) "default order is registry declaration"
+    (Registry.names ())
+    (List.map (fun (b, _) -> Registry.name b) (Driver.compile_all s));
+  Alcotest.(check (list string)) "registry declaration is Table 1"
+    [ "cones"; "hardwarec"; "transmogrifier"; "systemc"; "ocapi";
+      "c2verilog"; "cyber"; "handelc"; "specc"; "bachc"; "cash" ]
+    (Registry.names ());
+  let subset = [ Registry.get "cash"; Registry.get "cones" ] in
+  Alcotest.(check (list string)) "explicit backends keep caller order"
+    [ "cash"; "cones" ]
+    (List.map
+       (fun (b, _) -> Registry.name b)
+       (Driver.compile_all ~backends:subset s))
+
 let suite =
   ( "driver",
     [ Alcotest.test_case "frontend memoized" `Quick test_frontend_memoized;
@@ -119,4 +139,6 @@ let suite =
       Alcotest.test_case "compile_all amortizes frontend" `Quick
         test_compile_all_amortizes_frontend;
       Alcotest.test_case "typed rejections" `Quick test_typed_rejections;
-      Alcotest.test_case "reference oracle" `Quick test_reference_oracle ] )
+      Alcotest.test_case "reference oracle" `Quick test_reference_oracle;
+      Alcotest.test_case "compile_all verdict order is declared order"
+        `Quick test_compile_all_declared_order ] )
