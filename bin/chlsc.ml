@@ -58,9 +58,18 @@ let metrics_json_arg =
   Arg.(value & opt (some string) None
        & info [ "metrics-json" ] ~docv:"OUT.json"
            ~doc:
-             "Write a machine-readable run report (schema chls.metrics/2): \
-              design facts, the per-pass compile trace, simulator counters \
-              and the run outcome, rendered deterministically")
+             "Write a machine-readable run report (schema chls.metrics/3): \
+              design facts, the per-pass compile trace, the span trace tree, \
+              simulator counters and the run outcome, rendered \
+              deterministically")
+
+let trace_json_arg =
+  Arg.(value & opt (some string) None
+       & info [ "trace-json" ] ~docv:"OUT.json"
+           ~doc:
+             "Write the compile's span trace as Chrome trace_event JSON \
+              (complete X events) — load it in about://tracing or Perfetto. \
+              On failure the file also carries the flight-recorder dump")
 
 (* --- the persistent design cache (lib/core/cache.ml) --- *)
 
@@ -120,7 +129,7 @@ let run_races file dialect_name metrics_json =
   | None -> ()
   | Some path ->
     let m = Metrics.create () in
-    Metrics.set_string m "schema" "chls.metrics/2";
+    Metrics.set_string m "schema" "chls.metrics/3";
     Metrics.set_string m "check.dialect" dialect.Dialect.name;
     List.iter
       (fun (k, n) -> Metrics.set_int m ("check." ^ k) n)
@@ -451,8 +460,8 @@ let print_state_profile (r : Design.run_result) =
 let compile_cmd =
   let doc = "Synthesize the program with a surveyed scheme" in
   let run file entry backend args verilog area stats trace_passes dump_ir
-      verify_passes vcd vcd_netlist profile metrics_json sim verify_sim
-      cache_dir cache_max_bytes =
+      verify_passes vcd vcd_netlist profile metrics_json trace_json sim
+      verify_sim cache_dir cache_max_bytes =
     attach_cache cache_dir cache_max_bytes;
     let source = read_file file in
     let verify =
@@ -467,21 +476,43 @@ let compile_cmd =
     in
     Passes.set_options
       { Passes.default_options with Passes.verify; dump_after = dump_ir };
+    (* the whole invocation is one trace: frontend, dialect check, passes,
+       backend, simulation and oracle become spans under this root *)
+    let tr, tctx = Span.start ~kind:"compile" () in
+    Span.add_attr tctx "file" (Metrics.String file);
+    Span.add_attr tctx "entry" (Metrics.String entry);
+    let write_trace ?(failed = false) () =
+      match trace_json with
+      | None -> ()
+      | Some path ->
+        Span.finish tr;
+        let sink = Span.Chrome.create () in
+        Span.Chrome.add sink tr;
+        let extra =
+          if failed then [ ("flight_recorder", Span.Flight.dump ()) ]
+          else []
+        in
+        Span.Chrome.write_file ~extra sink path;
+        Printf.printf "wrote %s (%d trace event(s))\n" path
+          (Span.Chrome.events sink)
+    in
     (* the driver owns parse-once + the content-hashed design cache and
        turns every rejection into a typed, located diagnostic *)
     let session = Driver.create ~entry source in
     let design =
-      match Driver.compile session backend with
+      match Driver.compile ~ctx:tctx session backend with
       | Ok design -> design
       | Error (Driver.Verification_error { message; _ }) ->
+        write_trace ~failed:true ();
         Printf.eprintf "PASS VERIFICATION FAILED: %s\n" message;
         exit 2
       | Error e ->
+        write_trace ~failed:true ();
         Printf.eprintf "%s\n" (Driver.render_error ~file e);
         exit 1
     in
     let m = Metrics.create () in
-    Metrics.set_string m "schema" "chls.metrics/2";
+    Metrics.set_string m "schema" "chls.metrics/3";
     Metrics.set_string m "design.name" entry;
     Metrics.set_string m "design.backend" design.Design.backend;
     List.iter
@@ -496,12 +527,17 @@ let compile_cmd =
     let write_metrics () =
       match metrics_json with
       | Some path ->
-        (* fold in the driver's timings and cache counters as they stand
-           at write time *)
+        (* fold in the driver's timings, cache counters and the span
+           trace as they stand at write time *)
         Metrics.merge ~into:m (Driver.metrics session);
         List.iter
           (fun (k, v) -> Metrics.set_int m k v)
           (Driver.cache_metrics ());
+        List.iter
+          (fun (k, v) -> Metrics.set_fixed m k ~decimals:1 v)
+          (Driver.cache_hit_rates ());
+        Span.finish tr;
+        Metrics.set m "spans" (Span.to_json tr);
         Metrics.write_file m path;
         Printf.printf "wrote %s\n" path
       | None -> ()
@@ -546,7 +582,10 @@ let compile_cmd =
         | _ -> ()
       in
       Metrics.set_string m "run.sim" (Design.engine_name sim);
-      (match design.Design.run ?vcd:writer ~sim (Design.int_args args) with
+      (match
+         Design.run_traced ~ctx:tctx ?vcd:writer ~sim design
+           (Design.int_args args)
+       with
       | exception Rtlsim.Timeout { cycles; state } ->
         (* a partial outcome, not a bare failure: report how far the run
            got through the same channels a finished run uses *)
@@ -555,6 +594,7 @@ let compile_cmd =
         Metrics.set_int m "run.state" state;
         finish_vcd ();
         write_metrics ();
+        write_trace ~failed:true ();
         Printf.eprintf "timeout after %d cycles (in state %d)\n" cycles state;
         exit 3
       | exception Asim.Timeout { tokens_fired; time } ->
@@ -563,6 +603,7 @@ let compile_cmd =
         Metrics.set_fixed m "run.time_units" ~decimals:1 time;
         finish_vcd ();
         write_metrics ();
+        write_trace ~failed:true ();
         Printf.eprintf "timeout after %d tokens (at time %.1f)\n" tokens_fired
           time;
         exit 3
@@ -590,9 +631,10 @@ let compile_cmd =
           | None, None -> "");
         (* always cross-check the oracle (on the session's parsed program) *)
         let expected =
-          match Driver.reference session ~args with
+          match Driver.reference ~ctx:tctx session ~args with
           | Ok v -> v
           | Error e ->
+            write_trace ~failed:true ();
             Printf.eprintf "%s\n" (Driver.render_error ~file e);
             exit 1
         in
@@ -602,6 +644,7 @@ let compile_cmd =
         Metrics.set_bool m "run.matches_reference" agrees;
         if not agrees then begin
           write_metrics ();
+          write_trace ~failed:true ();
           Printf.eprintf "MISMATCH vs software semantics (expected %d)\n"
             expected;
           exit 2
@@ -669,6 +712,7 @@ let compile_cmd =
       if vcd_netlist <> None || profile then
         observe_netlist design args ~vcd_path:vcd_netlist ~profile ~metrics:m);
     write_metrics ();
+    write_trace ();
     if area then begin
       match design.Design.area () with
       | Some a -> Format.printf "%a\n" Area.pp_report a
@@ -689,8 +733,8 @@ let compile_cmd =
     Term.(const run $ file_arg $ entry_arg $ backend_arg $ args_arg
           $ verilog_arg $ area_flag $ stats_flag $ trace_passes_flag
           $ dump_ir_arg $ verify_passes_flag $ vcd_arg $ vcd_netlist_arg
-          $ profile_flag $ metrics_json_arg $ sim_arg $ verify_sim_flag
-          $ cache_dir_arg $ cache_max_bytes_arg)
+          $ profile_flag $ metrics_json_arg $ trace_json_arg $ sim_arg
+          $ verify_sim_flag $ cache_dir_arg $ cache_max_bytes_arg)
 
 (* --- chlsc compare: one source through every registered backend --- *)
 
@@ -774,7 +818,7 @@ let compare_cmd =
         vectors
     in
     let m = Metrics.create () in
-    Metrics.set_string m "schema" "chls.metrics/2";
+    Metrics.set_string m "schema" "chls.metrics/3";
     Metrics.set_string m "compare.file" file;
     Metrics.set_string m "compare.entry" entry;
     Metrics.set_int m "compare.vectors" (List.length vectors);
@@ -967,10 +1011,19 @@ let serve_cmd =
                "How many queued jobs one worker drains at a time \
                 (default 16), grouped by source")
   in
-  let run socket domains queue max_batch cache_dir cache_max_bytes =
+  let serve_trace_arg =
+    Arg.(value & opt (some string) None
+         & info [ "trace-json" ] ~docv:"FILE"
+             ~doc:
+               "Collect every request's span tree into a Chrome \
+                trace_event file (pid = worker index, tid = domain id), \
+                written at shutdown — load it in Perfetto")
+  in
+  let run socket domains queue max_batch cache_dir cache_max_bytes trace_json
+      =
     match
       Serve.run ?domains ?queue_capacity:queue ?max_batch ?cache_dir
-        ?cache_max_bytes ~log:prerr_endline ~socket ()
+        ?cache_max_bytes ?trace_json ~log:prerr_endline ~socket ()
     with
     | Ok () -> ()
     | Error msg ->
@@ -979,7 +1032,7 @@ let serve_cmd =
   in
   Cmd.v (Cmd.info "serve" ~doc)
     Term.(const run $ socket_arg $ domains_arg $ queue_arg $ batch_arg
-          $ cache_dir_arg $ cache_max_bytes_arg)
+          $ cache_dir_arg $ cache_max_bytes_arg $ serve_trace_arg)
 
 let client_cmd =
   let doc =
@@ -992,14 +1045,46 @@ let client_cmd =
          & info [] ~docv:"JSON"
              ~doc:"Request objects, e.g. '{\"op\":\"stats\"}'")
   in
-  let run socket requests =
+  let timeout_arg =
+    Arg.(value & opt (some int) None
+         & info [ "timeout-ms" ] ~docv:"MS"
+             ~doc:
+               "Bound every send and receive on the connection; a wedged \
+                daemon then fails the call with a timed-out error instead \
+                of hanging")
+  in
+  (* A failed request still prints its raw JSON on stdout (scripts parse
+     that), but the typed error kind and the trace id — the handle into
+     the daemon's flight recorder and --trace-json timeline — go to
+     stderr where a human will see them. *)
+  let report_server_error response =
+    match Serve.Json.parse response with
+    | Error _ -> ()
+    | Ok json -> (
+      match Serve.Json.member "ok" json with
+      | Some (Metrics.Bool false) ->
+        let str m j =
+          match Serve.Json.member m j with
+          | Some (Metrics.String s) -> s
+          | _ -> "?"
+        in
+        let kind, message =
+          match Serve.Json.member "error" json with
+          | Some err -> (str "kind" err, str "message" err)
+          | None -> ("?", "?")
+        in
+        Printf.eprintf "client: server error [%s] trace=%s: %s\n" kind
+          (str "trace_id" json) message
+      | _ -> ())
+  in
+  let run socket timeout_ms requests =
     let requests =
       if requests <> [] then requests
       else
         In_channel.input_all stdin |> String.split_on_char '\n'
         |> List.filter (fun l -> String.trim l <> "")
     in
-    match Serve.Client.connect ~socket with
+    match Serve.Client.connect ?timeout_ms ~socket () with
     | Error msg ->
       Printf.eprintf "client: %s\n" msg;
       exit 1
@@ -1008,7 +1093,9 @@ let client_cmd =
       List.iter
         (fun request ->
           match Serve.Client.rpc c request with
-          | Ok response -> print_endline response
+          | Ok response ->
+            print_endline response;
+            report_server_error response
           | Error msg ->
             Printf.eprintf "client: %s\n" msg;
             failed := true)
@@ -1017,7 +1104,7 @@ let client_cmd =
       if !failed then exit 1
   in
   Cmd.v (Cmd.info "client" ~doc)
-    Term.(const run $ socket_arg $ requests_arg)
+    Term.(const run $ socket_arg $ timeout_arg $ requests_arg)
 
 let cache_cmd =
   let doc = "Inspect or clear the persistent design cache" in
@@ -1040,13 +1127,32 @@ let cache_cmd =
     let run dir =
       let d = open_store dir in
       let c = Cache.store_counters (Cache.Disk.store d) in
+      (* derived rates, not raw counters: hits / (hits + misses), with a
+         guard for the no-lookup case (a fresh open has no traffic yet) *)
+      let rate hits misses =
+        let total = hits + misses in
+        if total = 0 then "n/a (no lookups)"
+        else
+          Printf.sprintf "%.1f%% (%d/%d)"
+            (100. *. float_of_int hits /. float_of_int total)
+            hits total
+      in
+      let dm = Driver.cache_metrics () in
+      let counter k = Option.value (List.assoc_opt k dm) ~default:0 in
       Printf.printf "cache %s\n" (Cache.Disk.dir d);
       List.iter
-        (fun (k, v) -> Printf.printf "  %-14s %d\n" k v)
+        (fun (k, v) -> Printf.printf "  %-16s %d\n" k v)
         [ ("entries", c.Cache.entries);
           ("bytes", c.Cache.bytes);
           ("corrupt", c.Cache.corrupt);
-          ("version_skew", c.Cache.version_skew) ]
+          ("version_skew", c.Cache.version_skew) ];
+      List.iter
+        (fun (k, v) -> Printf.printf "  %-16s %s\n" k v)
+        [ ("store_hit_rate", rate c.Cache.hits c.Cache.misses);
+          ( "front_hit_rate",
+            rate
+              (counter "driver.cache.front_hits")
+              (counter "driver.cache.front_misses") ) ]
     in
     Cmd.v (Cmd.info "stats" ~doc) Term.(const run $ dir_arg)
   in

@@ -60,6 +60,29 @@ type t = {
 
 let int_args args = List.map (Bitvec.of_int ~width:64) args
 
+(* [run] behind a "simulate" span: engine kind and backend as attributes
+   up front (so a crashed/timed-out run still identifies itself in the
+   flight recorder), cycles and settle time attached after.  The span
+   machinery adds an "error" attribute and re-raises on simulator
+   exceptions (Rtlsim.Timeout and friends), so failure context survives
+   into the ring buffer. *)
+let run_traced ?(ctx = Span.null) ?vcd ?sim design args =
+  Span.span ctx "simulate"
+    ~attrs:
+      [ ("backend", Metrics.String design.backend);
+        ( "engine",
+          Metrics.String (engine_name (Option.value sim ~default:Compiled)) )
+      ]
+    (fun sctx ->
+      let r = design.run ?vcd ?sim args in
+      (match r.cycles with
+      | Some c -> Span.add_attr sctx "cycles" (Metrics.Int c)
+      | None -> ());
+      (match r.time_units with
+      | Some t -> Span.add_attr sctx "time_units" (Metrics.Fixed (1, t))
+      | None -> ());
+      r)
+
 (** Run with plain integer arguments; returns the result as an int. *)
 let run_int design args =
   let r = design.run (int_args args) in

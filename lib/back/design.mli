@@ -59,6 +59,13 @@ type t = {
 val int_args : int list -> Bitvec.t list
 (** 64-bit argument vectors from plain integers. *)
 
+val run_traced :
+  ?ctx:Span.ctx -> ?vcd:Vcd.t -> ?sim:engine -> t -> Bitvec.t list -> run_result
+(** [run] inside a ["simulate"] span: backend and engine kind as
+    attributes up front, cycles / settle time attached on completion, an
+    ["error"] attribute (and a re-raise) on simulator exceptions.  With
+    the default null context this is exactly [design.run]. *)
+
 val run_int : t -> int list -> int option
 (** Run with integer arguments; the result as an int. *)
 

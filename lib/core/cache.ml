@@ -430,6 +430,8 @@ type 'a t = {
   front : (string, 'a) Hashtbl.t;
   mutable backing : store option;
   mutable undecodable : int;
+  mutable f_hits : int;
+  mutable f_misses : int;
   lock : Mutex.t;
 }
 
@@ -440,6 +442,8 @@ let create ~name ~encode ~decode ?store () =
     front = Hashtbl.create 64;
     backing = store;
     undecodable = 0;
+    f_hits = 0;
+    f_misses = 0;
     lock = Mutex.create () }
 
 let locked t f =
@@ -452,11 +456,17 @@ let size t = locked t (fun () -> Hashtbl.length t.front)
 let decode_failures t = locked t (fun () -> t.undecodable)
 let clear t = locked t (fun () -> Hashtbl.reset t.front)
 
+let front_hits t = locked t (fun () -> t.f_hits)
+let front_misses t = locked t (fun () -> t.f_misses)
+
 let find t key =
   locked t (fun () ->
       match Hashtbl.find_opt t.front key with
-      | Some v -> Some (v, `Front)
+      | Some v ->
+        t.f_hits <- t.f_hits + 1;
+        Some (v, `Front)
       | None -> (
+        t.f_misses <- t.f_misses + 1;
         match t.backing with
         | None -> None
         | Some s -> (

@@ -130,6 +130,14 @@ val decode_failures : 'a t -> int
 (** Store payloads that validated at the byte level but failed [decode]
     (each deleted and degraded to a miss). *)
 
+val front_hits : 'a t -> int
+(** Lookups answered from the decoded front table. *)
+
+val front_misses : 'a t -> int
+(** Lookups that fell past the front table — whether or not the byte
+    store then revived them.  [front_hits + front_misses] is the total
+    lookup count, which is how derived hit rates are computed. *)
+
 val clear : 'a t -> unit
 (** Drop the decoded front table only — the byte store keeps its
     entries (benchmarks use this to simulate a restart). *)

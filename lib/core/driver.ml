@@ -90,6 +90,11 @@ let cache_metrics () =
     [ ("driver.cache.front_entries", cache_size ());
       ("driver.cache.decode_failures", Cache.decode_failures design_cache) ]
   in
+  let front =
+    front
+    @ [ ("driver.cache.front_hits", Cache.front_hits design_cache);
+        ("driver.cache.front_misses", Cache.front_misses design_cache) ]
+  in
   match cache_store () with
   | None -> front
   | Some s ->
@@ -103,6 +108,32 @@ let cache_metrics () =
         ("driver.store.version_skew", c.Cache.version_skew);
         ("driver.store.entries", c.Cache.entries);
         ("driver.store.bytes", c.Cache.bytes) ]
+
+(* Derived hit rates, only where there was traffic: a fresh process has
+   no lookups and a percentage would be noise, so absent beats 0%. *)
+let cache_hit_rates () =
+  let rate hits misses =
+    let total = hits + misses in
+    if total = 0 then None
+    else Some (100. *. float_of_int hits /. float_of_int total)
+  in
+  let front =
+    match
+      rate (Cache.front_hits design_cache) (Cache.front_misses design_cache)
+    with
+    | Some r -> [ ("driver.cache.front_hit_rate_pct", r) ]
+    | None -> []
+  in
+  let store =
+    match cache_store () with
+    | None -> []
+    | Some s -> (
+      let c = Cache.store_counters s in
+      match rate c.Cache.hits c.Cache.misses with
+      | Some r -> [ ("driver.store.hit_rate_pct", r) ]
+      | None -> [])
+  in
+  front @ store
 
 let hit t kind =
   Metrics.incr t.metrics "driver.cache.hits";
@@ -130,59 +161,108 @@ let design_key t backend =
 
 (* --- the frontend, exactly once per session --- *)
 
-let program t =
-  match t.frontend with
-  | Some r ->
-    hit t "frontend";
-    r
-  | None ->
-    miss t "frontend";
-    let t0 = Sys.time () in
-    let r =
-      match Typecheck.parse_and_check t.source with
-      | p -> Ok p
-      | exception Parser.Error (message, loc) ->
-        Error (Frontend_error { message; loc })
-      | exception Typecheck.Error (message, loc) ->
-        Error (Frontend_error { message; loc })
-    in
-    Metrics.add_ms t.metrics "driver.frontend_ms"
-      ((Sys.time () -. t0) *. 1000.);
-    t.frontend <- Some r;
-    r
+let program ?(ctx = Span.null) t =
+  Span.span ctx "frontend" (fun sctx ->
+      match t.frontend with
+      | Some r ->
+        hit t "frontend";
+        Span.add_attr sctx "memo" (Metrics.Bool true);
+        r
+      | None ->
+        miss t "frontend";
+        Span.add_attr sctx "memo" (Metrics.Bool false);
+        let t0 = Sys.time () in
+        let r =
+          match Typecheck.parse_and_check t.source with
+          | p -> Ok p
+          | exception Parser.Error (message, loc) ->
+            Error (Frontend_error { message; loc })
+          | exception Typecheck.Error (message, loc) ->
+            Error (Frontend_error { message; loc })
+        in
+        Metrics.add_ms t.metrics "driver.frontend_ms"
+          ((Sys.time () -. t0) *. 1000.);
+        (match r with
+        | Error _ -> Span.add_attr sctx "rejected" (Metrics.Bool true)
+        | Ok _ -> ());
+        t.frontend <- Some r;
+        r)
 
 (* --- per-backend compilation --- *)
 
-let compile t backend =
-  match program t with
+(* Passes cannot open spans itself (chl_ir sits below chl_obs in the
+   library order), so pass spans are reconstructed post hoc from the
+   trace records a fresh compile produced: each record carries its own
+   start offset within the pipeline run, anchored at [at] — the trace
+   offset where the backend compile began. *)
+let emit_pass_spans ctx ~at (trace : Passes.trace) =
+  List.iter
+    (fun (r : Passes.record) ->
+      Span.emit ctx
+        ~attrs:
+          [ ( "level",
+              Metrics.String
+                (match r.Passes.level with
+                | Passes.Source -> "source"
+                | Passes.Ir -> "ir") );
+            ("blocks", Metrics.Int r.Passes.after.Passes.blocks);
+            ( "instrs_delta",
+              Metrics.Int
+                (r.Passes.after.Passes.instrs - r.Passes.before.Passes.instrs)
+            );
+            ("verified", Metrics.Int r.Passes.verified) ]
+        ~start_ms:(at +. r.Passes.start_ms) ~dur_ms:r.Passes.wall_ms
+        ("pass:" ^ r.Passes.pass_name))
+    trace
+
+let compile ?(ctx = Span.null) t backend =
+  match program ~ctx t with
   | Error e -> Error e
   | Ok prog ->
     let name = Registry.name backend in
     if not (Registry.capabilities backend).Backend.c_frontend then
       Error (No_c_frontend { backend = name })
     else begin
-      match Dialect.check (Registry.dialect backend) prog with
+      let violations =
+        Span.span ctx "dialect-check"
+          ~attrs:[ ("backend", Metrics.String name) ]
+          (fun sctx ->
+            let vs = Dialect.check (Registry.dialect backend) prog in
+            Span.add_attr sctx "violations" (Metrics.Int (List.length vs));
+            vs)
+      in
+      match violations with
       | _ :: _ as violations ->
         Error (Dialect_reject { backend = name; violations })
-      | [] -> (
+      | [] ->
+        Span.span ctx "backend"
+          ~attrs:[ ("backend", Metrics.String name) ]
+          (fun sctx ->
         let key = design_key t backend in
         match Cache.find design_cache key with
         | Some (design, `Front) ->
           hit t "design";
+          Span.add_attr sctx "cache" (Metrics.String "front");
           Ok design
         | Some (design, `Store) ->
           (* revived from the persistent store: a hit that did no
              backend work, distinguished so benchmarks can see
              restart-survival *)
           hit t "design_store";
+          Span.add_attr sctx "cache" (Metrics.String "store");
           Ok design
         | None ->
           miss t "design";
+          Span.add_attr sctx "cache" (Metrics.String "miss");
           let t0 = Sys.time () in
+          let at = Span.elapsed_ms sctx in
           let r =
             match Registry.compile backend prog ~entry:t.entry with
             | design ->
               Cache.add design_cache key design;
+              (* only a fresh compile has live pass timings — a cached
+                 design's pass_trace describes work another request did *)
+              emit_pass_spans sctx ~at design.Design.pass_trace;
               Ok design
             | exception Backend.No_c_frontend b ->
               Error (No_c_frontend { backend = b })
@@ -219,33 +299,37 @@ let compile t backend =
           r)
     end
 
-let compile_all ?backends t =
+let compile_all ?ctx ?backends t =
   let backends =
     match backends with Some bs -> bs | None -> Registry.all ()
   in
-  List.map (fun b -> (b, compile t b)) backends
+  List.map (fun b -> (b, compile ?ctx t b)) backends
 
-let reference t ~args =
-  match program t with
-  | Error e -> Error e
-  | Ok prog -> (
-    let width = 64 in
-    match
-      Interp.run prog ~entry:t.entry
-        ~args:(List.map (Bitvec.of_int ~width) args)
-    with
-    | { Interp.return_value = Some v; _ } -> Ok (Bitvec.to_int v)
-    | { Interp.return_value = None; _ } ->
-      Error
-        (Backend_error
-           { backend = "reference"; message = "entry returned void";
-             loc = Ast.no_loc })
-    | exception Interp.Runtime_error message ->
-      Error
-        (Backend_error
-           { backend = "reference"; message; loc = Ast.no_loc })
-    | exception Interp.Internal_error (message, loc) ->
-      Error
-        (Backend_error
-           { backend = "reference"; message = "internal error: " ^ message;
-             loc }))
+let reference ?(ctx = Span.null) t ~args =
+  Span.span ctx "oracle"
+    ~attrs:[ ("args", Metrics.Int (List.length args)) ]
+    (fun sctx ->
+      match program ~ctx:sctx t with
+      | Error e -> Error e
+      | Ok prog -> (
+        let width = 64 in
+        match
+          Interp.run prog ~entry:t.entry
+            ~args:(List.map (Bitvec.of_int ~width) args)
+        with
+        | { Interp.return_value = Some v; _ } -> Ok (Bitvec.to_int v)
+        | { Interp.return_value = None; _ } ->
+          Error
+            (Backend_error
+               { backend = "reference"; message = "entry returned void";
+                 loc = Ast.no_loc })
+        | exception Interp.Runtime_error message ->
+          Error
+            (Backend_error
+               { backend = "reference"; message; loc = Ast.no_loc })
+        | exception Interp.Internal_error (message, loc) ->
+          Error
+            (Backend_error
+               { backend = "reference";
+                 message = "internal error: " ^ message;
+                 loc })))

@@ -53,19 +53,28 @@ val render_error : ?file:string -> error -> string
 
 (** {1 Compiling} *)
 
-val program : session -> (Ast.program, error) result
+val program : ?ctx:Span.ctx -> session -> (Ast.program, error) result
 (** The parsed, type-checked program.  Runs the frontend on first call
-    (recording [driver.frontend_ms]); later calls are cache hits. *)
+    (recording [driver.frontend_ms]); later calls are cache hits.
+    Under a span context, every call opens a ["frontend"] span whose
+    [memo] attribute says whether the session memo answered. *)
 
-val compile : session -> Registry.t -> (Design.t, error) result
+val compile : ?ctx:Span.ctx -> session -> Registry.t -> (Design.t, error) result
 (** Compile through one backend: dialect legality first, then the
     content-hashed design cache, then the backend itself with every
     backend exception converted to a typed {!error}.  Never raises on
     bad input; a repeated call with identical (source, backend, entry,
-    options) is a cache hit returning the same design. *)
+    options) is a cache hit returning the same design.
+
+    Under a span context the stages become spans: ["frontend"],
+    ["dialect-check"], and a ["backend"] span whose [cache] attribute
+    records provenance ([front]/[store]/[miss]); a fresh compile
+    additionally replays its {!Passes} trace as one ["pass:<name>"]
+    child span per declared pass, reusing the engine's own timings and
+    IR-size deltas as attributes. *)
 
 val compile_all :
-  ?backends:Registry.t list -> session ->
+  ?ctx:Span.ctx -> ?backends:Registry.t list -> session ->
   (Registry.t * (Design.t, error) result) list
 (** {!compile} across [backends] — the frontend runs once, each backend
     gets its own accept/reject verdict.  Verdict order is contractual:
@@ -74,9 +83,10 @@ val compile_all :
     compare tables, metrics reports and the serve protocol are
     byte-stable across runs. *)
 
-val reference : session -> args:int list -> (int, error) result
+val reference : ?ctx:Span.ctx -> session -> args:int list -> (int, error) result
 (** The software oracle on the session's (already parsed) program — the
-    frontend is amortized here too. *)
+    frontend is amortized here too.  Under a span context the run is an
+    ["oracle"] span. *)
 
 (** {1 The process-wide artifact cache}
 
@@ -108,5 +118,12 @@ val cache_store : unit -> Cache.store option
 
 val cache_metrics : unit -> (string * int) list
 (** Cache-subsystem gauges and counters ([driver.cache.front_entries],
+    [driver.cache.front_hits/front_misses],
     [driver.store.hits/misses/puts/evictions/corrupt/version_skew/...])
     for metrics reports and [chlsc cache stats]. *)
+
+val cache_hit_rates : unit -> (string * float) list
+(** Derived hit-rate percentages — [driver.cache.front_hit_rate_pct]
+    over the decoded front tier, [driver.store.hit_rate_pct] over the
+    byte store — each present only once that tier has seen at least one
+    lookup, so a fresh process reports nothing rather than 0%. *)

@@ -405,8 +405,8 @@ let session_for sessions source entry =
     Hashtbl.add sessions key s;
     s
 
-let run_design (design : Design.t) args =
-  match design.Design.run (Design.int_args args) with
+let run_design ?ctx (design : Design.t) args =
+  match Design.run_traced ?ctx design (Design.int_args args) with
   | r -> `Ok r
   | exception Rtlsim.Timeout { cycles; state = _ } -> `Timeout (Some cycles)
   | exception Asim.Timeout _ -> `Timeout None
@@ -414,7 +414,7 @@ let run_design (design : Design.t) args =
   | exception C2v_machine.Timeout -> `Timeout None
   | exception Cir_interp.Timeout -> `Timeout None
 
-let handle_compile sessions ~id ~source ~entry ~backend ~args =
+let handle_compile sessions ~ctx ~id ~source ~entry ~backend ~args =
   match Registry.find backend with
   | None ->
     error_response ~id ~kind:"protocol"
@@ -424,7 +424,7 @@ let handle_compile sessions ~id ~source ~entry ~backend ~args =
     let s = session_for sessions source entry in
     let front0 = session_counter s "driver.cache.design_hits"
     and store0 = session_counter s "driver.cache.design_store_hits" in
-    match Driver.compile s b with
+    match Driver.compile ~ctx s b with
     | Error e -> driver_error ~id e
     | Ok design -> (
       let cached =
@@ -442,7 +442,7 @@ let handle_compile sessions ~id ~source ~entry ~backend ~args =
       match args with
       | None -> Metrics.Obj (base @ [ ("status", Metrics.String "compiled") ])
       | Some args -> (
-        match run_design design args with
+        match run_design ~ctx design args with
         | `Timeout cycles ->
           Metrics.Obj
             (base
@@ -456,7 +456,7 @@ let handle_compile sessions ~id ~source ~entry ~backend ~args =
              oracle on the request's vector *)
           let observed = Option.map Bitvec.to_int r.Design.result in
           let oracle =
-            match Driver.reference s ~args with
+            match Driver.reference ~ctx s ~args with
             | Ok v -> `Expected v
             | Error e -> `Failed (Driver.render_error e)
           in
@@ -479,7 +479,7 @@ let handle_compile sessions ~id ~source ~entry ~backend ~args =
               [ ("matches_reference", Metrics.Bool (observed = Some v)) ]
             | `Failed msg -> [ ("reference_error", Metrics.String msg) ]))))
 
-let handle_compare sessions ~id ~source ~entry ~backends ~vectors =
+let handle_compare sessions ~ctx ~id ~source ~entry ~backends ~vectors =
   let resolve names =
     let rec go acc = function
       | [] -> Ok (List.rev acc)
@@ -502,13 +502,13 @@ let handle_compare sessions ~id ~source ~entry ~backends ~vectors =
   | Error msg -> error_response ~id ~kind:"protocol" msg
   | Ok backends -> (
     let s = session_for sessions source entry in
-    match Driver.program s with
+    match Driver.program ~ctx s with
     | Error e -> driver_error ~id e
     | Ok _ ->
       let expected =
         List.map
           (fun args ->
-            match Driver.reference s ~args with
+            match Driver.reference ~ctx s ~args with
             | Ok v -> Some v
             | Error _ -> None)
           vectors
@@ -526,7 +526,7 @@ let handle_compare sessions ~id ~source ~entry ~backends ~vectors =
                   ("detail", Metrics.String (Driver.render_error e)) ]
             | Ok design ->
               let outcomes =
-                List.map (fun args -> run_design design args) vectors
+                List.map (fun args -> run_design ~ctx design args) vectors
               in
               let results =
                 List.map
@@ -555,7 +555,7 @@ let handle_compare sessions ~id ~source ~entry ~backends ~vectors =
                 @
                 if vectors = [] then []
                 else [ ("agrees", Metrics.Bool agrees) ]))
-          (Driver.compile_all ~backends s)
+          (Driver.compile_all ~ctx ~backends s)
       in
       Metrics.Obj
         [ ("id", id);
@@ -565,7 +565,7 @@ let handle_compare sessions ~id ~source ~entry ~backends ~vectors =
           ("backends", Metrics.List rows);
           ("mismatch", Metrics.Bool !mismatch) ])
 
-let handle_check sessions ~id ~source ~dialect =
+let handle_check sessions ~ctx ~id ~source ~dialect =
   let resolved =
     match Registry.find dialect with
     | Some b -> Some (Registry.dialect b)
@@ -578,10 +578,14 @@ let handle_check sessions ~id ~source ~dialect =
          dialect)
   | Some d -> (
     let s = session_for sessions source "main" in
-    match Driver.program s with
+    match Driver.program ~ctx s with
     | Error e -> driver_error ~id e
     | Ok program ->
-      let diags = Conc_check.check_program ~dialect:d program in
+      let diags =
+        Span.span ctx "conc-check"
+          ~attrs:[ ("dialect", Metrics.String d.Dialect.name) ]
+          (fun _ -> Conc_check.check_program ~dialect:d program)
+      in
       let errors = Conc_check.errors diags
       and warnings = Conc_check.warnings diags in
       Metrics.Obj
@@ -600,7 +604,15 @@ let handle_check sessions ~id ~source ~dialect =
 (* --- the Domain pool --- *)
 
 module Pool = struct
-  type job = { req : request; respond : Metrics.json -> unit }
+  (* A queued job may carry a live trace: the request root span plus the
+     queue-wait span opened at submit time (on the accept loop's side of
+     the Domain boundary) and closed by the worker that dequeues it. *)
+  type job = {
+    req : request;
+    respond : Metrics.json -> unit;
+    jtrace : (Span.trace * Span.ctx * Span.ctx) option;
+        (* (trace, request ctx, queue-wait ctx) *)
+  }
 
   type t = {
     lock : Mutex.t;
@@ -611,6 +623,8 @@ module Pool = struct
     capacity : int;
     max_batch : int;
     n_domains : int;
+    tracing : bool;
+    on_trace : (pid:int -> tid:int -> Span.trace -> unit) option;
     mutable active : int;
     mutable total_jobs : int;
     mutable stopping : bool;
@@ -650,6 +664,7 @@ module Pool = struct
     [ ("domains", t.n_domains);
       ("queue_capacity", t.capacity);
       ("queued", queued);
+      ("queue_depth", queued);
       ("active", active);
       ("total_jobs", total) ]
 
@@ -660,49 +675,103 @@ module Pool = struct
       | _ -> false)
     | _ -> false
 
-  let handle t sessions req =
+  let dispatch t sessions ~ctx req =
+    match req with
+    | Compile { id; source; entry; backend; args } ->
+      handle_compile sessions ~ctx ~id ~source ~entry ~backend ~args
+    | Compare { id; source; entry; backends; vectors } ->
+      handle_compare sessions ~ctx ~id ~source ~entry ~backends ~vectors
+    | Check { id; source; dialect } ->
+      handle_check sessions ~ctx ~id ~source ~dialect
+    | Stats { id } ->
+      let m = Metrics.create () in
+      Metrics.set_string m "schema" "chls.metrics/3";
+      List.iter
+        (fun (k, v) -> Metrics.set_int m ("serve.pool." ^ k) v)
+        (stats t);
+      Metrics.set_int m "serve.trace.flight_capacity"
+        (Span.Flight.capacity ());
+      Metrics.set_int m "serve.trace.flight_occupancy"
+        (Span.Flight.occupancy ());
+      Metrics.set_int m "serve.trace.flight_recorded"
+        (Span.Flight.recorded ());
+      Metrics.set_int m "serve.trace.flight_dropped"
+        (Span.Flight.dropped ());
+      List.iter
+        (fun (k, v) -> Metrics.set m k v)
+        (snapshot_metrics t);
+      List.iter
+        (fun (k, v) -> Metrics.set_int m k v)
+        (Driver.cache_metrics ());
+      List.iter
+        (fun (k, v) -> Metrics.set_fixed m k ~decimals:1 v)
+        (Driver.cache_hit_rates ());
+      (match Metrics.to_json m with
+      | Metrics.Obj members ->
+        Metrics.Obj
+          (("id", id) :: ("ok", Metrics.Bool true) :: members)
+      | other -> other)
+    | Shutdown { id } ->
+      Metrics.Obj
+        [ ("id", id);
+          ("ok", Metrics.Bool true);
+          ("shutting_down", Metrics.Bool true) ]
+
+  (* The trace id rides next to the caller's own id; a failing answer
+     additionally carries the flight recorder's last-N finished spans,
+     so every dialect-reject/verification-error/internal response is
+     its own crash report. *)
+  let decorate_response tr resp =
+    match resp with
+    | Metrics.Obj members ->
+      let tid = ("trace_id", Metrics.String (Span.trace_id tr)) in
+      let rec ins = function
+        | (("id", _) as m) :: rest -> m :: tid :: rest
+        | m :: rest -> m :: ins rest
+        | [] -> [ tid ]
+      in
+      let members = ins members in
+      Metrics.Obj
+        (if response_ok resp then members
+         else members @ [ ("flight_recorder", Span.Flight.dump ()) ])
+    | other -> other
+
+  let handle_traced t sessions ?jtrace ?(pid = 0) ?(tid = 0) req =
     let sessions =
       match sessions with Some s -> s | None -> Hashtbl.create 4
     in
     let t0 = Unix.gettimeofday () in
     let id = request_id req in
+    let jtrace =
+      match jtrace with
+      | Some _ as tr -> tr
+      | None ->
+        if t.tracing && Span.enabled () then begin
+          let tr, ctx = Span.start ~kind:"request" () in
+          Span.add_attr ctx "op" (Metrics.String (op_name req));
+          Some (tr, ctx)
+        end
+        else None
+    in
+    let ctx = match jtrace with Some (_, c) -> c | None -> Span.null in
     let resp =
-      try
-        match req with
-        | Compile { id; source; entry; backend; args } ->
-          handle_compile sessions ~id ~source ~entry ~backend ~args
-        | Compare { id; source; entry; backends; vectors } ->
-          handle_compare sessions ~id ~source ~entry ~backends ~vectors
-        | Check { id; source; dialect } ->
-          handle_check sessions ~id ~source ~dialect
-        | Stats { id } ->
-          let m = Metrics.create () in
-          Metrics.set_string m "schema" "chls.metrics/2";
-          List.iter
-            (fun (k, v) -> Metrics.set_int m ("serve.pool." ^ k) v)
-            (stats t);
-          List.iter
-            (fun (k, v) -> Metrics.set m k v)
-            (snapshot_metrics t);
-          List.iter
-            (fun (k, v) -> Metrics.set_int m k v)
-            (Driver.cache_metrics ());
-          (match Metrics.to_json m with
-          | Metrics.Obj members ->
-            Metrics.Obj
-              (("id", id) :: ("ok", Metrics.Bool true) :: members)
-          | other -> other)
-        | Shutdown { id } ->
-          Metrics.Obj
-            [ ("id", id);
-              ("ok", Metrics.Bool true);
-              ("shutting_down", Metrics.Bool true) ]
+      try dispatch t sessions ~ctx req
       with e ->
         (* a handler bug must not kill the worker domain *)
         error_response ~id ~kind:"internal" (Printexc.to_string e)
     in
     record t req (response_ok resp) ((Unix.gettimeofday () -. t0) *. 1000.);
-    resp
+    match jtrace with
+    | None -> resp
+    | Some (tr, _) ->
+      Span.finish tr;
+      let resp = decorate_response tr resp in
+      (match t.on_trace with
+      | Some f -> ( try f ~pid ~tid tr with _ -> ())
+      | None -> ());
+      resp
+
+  let handle t sessions req = handle_traced t sessions req
 
   (* Drain up to max_batch queued jobs in one lock acquisition, grouped
      by source so a batch over one program walks its session once; the
@@ -724,7 +793,7 @@ module Pool = struct
       (fun a b -> compare (source_key a) (source_key b))
       batch
 
-  let rec worker_loop t sessions =
+  let rec worker_loop t ~widx sessions =
     Mutex.lock t.lock;
     while Queue.is_empty t.queue && not t.stopping do
       Condition.wait t.not_empty t.lock
@@ -740,7 +809,19 @@ module Pool = struct
       Mutex.unlock t.lock;
       List.iter
         (fun job ->
-          let resp = handle t (Some sessions) job.req in
+          (* the queue-wait span ends the instant a worker owns the job *)
+          let jtrace =
+            match job.jtrace with
+            | None -> None
+            | Some (tr, ctx, q) ->
+              Span.exit q;
+              Some (tr, ctx)
+          in
+          let resp =
+            handle_traced t (Some sessions) ?jtrace ~pid:widx
+              ~tid:(Domain.self () :> int)
+              job.req
+          in
           (try job.respond resp with _ -> ());
           Mutex.lock t.lock;
           t.active <- t.active - 1;
@@ -748,10 +829,11 @@ module Pool = struct
             Condition.broadcast t.idle;
           Mutex.unlock t.lock)
         batch;
-      worker_loop t sessions
+      worker_loop t ~widx sessions
     end
 
-  let create ?domains:n ?queue_capacity ?max_batch () =
+  let create ?domains:n ?queue_capacity ?max_batch ?(tracing = true)
+      ?on_trace () =
     let n_domains =
       max 1 (Option.value n ~default:(Domain.recommended_domain_count ()))
     in
@@ -768,6 +850,8 @@ module Pool = struct
         capacity;
         max_batch;
         n_domains;
+        tracing;
+        on_trace;
         active = 0;
         total_jobs = 0;
         stopping = false;
@@ -777,8 +861,8 @@ module Pool = struct
         mlock = Mutex.create () }
     in
     t.workers <-
-      List.init n_domains (fun _ ->
-          Domain.spawn (fun () -> worker_loop t (Hashtbl.create 16)));
+      List.init n_domains (fun widx ->
+          Domain.spawn (fun () -> worker_loop t ~widx (Hashtbl.create 16)));
     t
 
   let submit t req ~respond =
@@ -795,7 +879,15 @@ module Pool = struct
       with _ -> ()
     end
     else begin
-      Queue.push { req; respond } t.queue;
+      let jtrace =
+        if t.tracing && Span.enabled () then begin
+          let tr, ctx = Span.start ~kind:"request" () in
+          Span.add_attr ctx "op" (Metrics.String (op_name req));
+          Some (tr, ctx, Span.enter ctx "queue-wait")
+        end
+        else None
+      in
+      Queue.push { req; respond; jtrace } t.queue;
       t.total_jobs <- t.total_jobs + 1;
       Condition.signal t.not_empty;
       Mutex.unlock t.lock
@@ -826,7 +918,7 @@ end
 (* --- the daemon --- *)
 
 let run ?domains ?queue_capacity ?max_batch ?cache_dir ?cache_max_bytes
-    ?(log = fun _ -> ()) ~socket () =
+    ?trace_json ?(log = fun _ -> ()) ~socket () =
   (match Sys.signal Sys.sigpipe Sys.Signal_ignore with
   | _ -> ()
   | exception _ -> ());
@@ -851,7 +943,15 @@ let run ?domains ?queue_capacity ?max_batch ?cache_dir ?cache_max_bytes
       Error
         (Printf.sprintf "cannot bind %s: %s" socket (Printexc.to_string e))
     | () ->
-      let pool = Pool.create ?domains ?queue_capacity ?max_batch () in
+      let sink = Option.map (fun _ -> Span.Chrome.create ()) trace_json in
+      let on_trace =
+        Option.map
+          (fun sink ~pid ~tid tr -> Span.Chrome.add sink ~pid ~tid tr)
+          sink
+      in
+      let pool =
+        Pool.create ?domains ?queue_capacity ?max_batch ?on_trace ()
+      in
       let stop = ref false in
       let on_signal _ = stop := true in
       let prev_int = Sys.signal Sys.sigint (Sys.Signal_handle on_signal) in
@@ -933,6 +1033,18 @@ let run ?domains ?queue_capacity ?max_batch ?cache_dir ?cache_max_bytes
       (try Unix.unlink socket with _ -> ());
       Sys.set_signal Sys.sigint prev_int;
       Sys.set_signal Sys.sigterm prev_term;
+      (match (trace_json, sink) with
+      | Some path, Some sink ->
+        (try
+           Span.Chrome.write_file sink path;
+           log
+             (Printf.sprintf "chlsc serve: wrote %d trace event(s) to %s"
+                (Span.Chrome.events sink) path)
+         with e ->
+           log
+             (Printf.sprintf "chlsc serve: cannot write trace %s: %s" path
+                (Printexc.to_string e)))
+      | _ -> ());
       log "chlsc serve: shut down cleanly";
       Ok ())
 
@@ -941,8 +1053,14 @@ let run ?domains ?queue_capacity ?max_batch ?cache_dir ?cache_max_bytes
 module Client = struct
   type t = { fd : Unix.file_descr; ic : in_channel; oc : out_channel }
 
-  let connect ~socket =
+  let connect ?timeout_ms ~socket () =
     let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    (match timeout_ms with
+    | Some ms when ms > 0 ->
+      let s = float_of_int ms /. 1000. in
+      (try Unix.setsockopt_float fd Unix.SO_RCVTIMEO s with _ -> ());
+      (try Unix.setsockopt_float fd Unix.SO_SNDTIMEO s with _ -> ())
+    | _ -> ());
     match Unix.connect fd (Unix.ADDR_UNIX socket) with
     | () ->
       Ok
@@ -955,6 +1073,25 @@ module Client = struct
         (Printf.sprintf "cannot connect to %s: %s" socket
            (Printexc.to_string e))
 
+  (* SO_RCVTIMEO surfaces through channel reads as EAGAIN-flavoured
+     failures; name them for what they are so a wedged daemon produces
+     "timed out", not an errno spelling. *)
+  let is_timeout = function
+    | Unix.Unix_error
+        ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.ETIMEDOUT), _, _)
+    | Sys_blocked_io ->
+      true
+    | Sys_error m ->
+      let has needle =
+        let nl = String.length needle and ml = String.length m in
+        let rec go i =
+          i + nl <= ml && (String.sub m i nl = needle || go (i + 1))
+        in
+        go 0
+      in
+      has "emporarily unavailable" || has "imed out"
+    | _ -> false
+
   let rpc t payload =
     match
       Frame.write t.oc payload;
@@ -963,6 +1100,8 @@ module Client = struct
     | Some resp -> Ok resp
     | None -> Error "connection closed by server"
     | exception Frame.Protocol_error msg -> Error msg
+    | exception e when is_timeout e ->
+      Error "timed out waiting for a response"
     | exception e -> Error (Printexc.to_string e)
 
   let close t = try Unix.close t.fd with _ -> ()

@@ -27,15 +27,23 @@
       oracle.
     - [check]: [{"op":"check","source":C,"dialect":D}] — the static
       concurrency checker under the dialect's severity rules.
-    - [stats]: server counters, per-op latency histograms
-      ([chls.metrics/2]) and the cache subsystem's state.
+    - [stats]: server counters, per-op latency histograms, queue depth,
+      flight-recorder occupancy/dropped gauges and derived cache hit
+      rates ([chls.metrics/3]) and the cache subsystem's state.
     - [shutdown]: drain in-flight work, answer, and stop the daemon.
+
+    Every request is traced: a span tree rooted at a ["request"] span
+    (queue-wait, frontend, dialect-check, per-pass, backend, simulate,
+    oracle children) whose trace id is echoed in the response as
+    ["trace_id"] next to the caller's ["id"].
 
     Error responses are typed, never a dropped connection:
     [{"id":..,"ok":false,"error":{"kind":K,"message":M}}] with [kind]
     one of [protocol], [frontend-error], [no-c-frontend],
     [dialect-reject], [backend-error], [verification-error],
-    [internal]. *)
+    [internal] — and every one carries a ["flight_recorder"] member,
+    the {!Span.Flight} dump of the last finished spans before the
+    failure. *)
 
 (** {1 JSON (parsing side; rendering lives in {!Metrics})} *)
 
@@ -104,6 +112,8 @@ module Pool : sig
   type t
 
   val create : ?domains:int -> ?queue_capacity:int -> ?max_batch:int ->
+    ?tracing:bool ->
+    ?on_trace:(pid:int -> tid:int -> Span.trace -> unit) ->
     unit -> t
   (** [domains] defaults to [Domain.recommended_domain_count ()].
       [queue_capacity] (default [4 * domains]) bounds the job queue —
@@ -111,7 +121,13 @@ module Pool : sig
       stops a fast client from ballooning the daemon.  [max_batch]
       (default 16) is how many queued jobs one worker drains at a time;
       a batch is grouped by source so each distinct program parses once
-      per batch. *)
+      per batch.
+
+      [tracing] (default on, also gated by {!Span.set_enabled}) mints a
+      span trace per request; [on_trace] receives each finished trace
+      from the worker that handled it — [pid] is the worker index, [tid]
+      the runtime domain id — which is how the daemon's Chrome sink and
+      the tests' in-memory sink attach. *)
 
   val domains : t -> int
 
@@ -128,8 +144,9 @@ module Pool : sig
   (** {!drain}, then stop and join the worker domains.  Idempotent. *)
 
   val stats : t -> (string * int) list
-  (** [domains], [queue_capacity], [queued], [active], and the
-      total-jobs counter — for the [stats] op. *)
+  (** [domains], [queue_capacity], [queued] (also exported as the
+      [queue_depth] gauge), [active], and the total-jobs counter — for
+      the [stats] op. *)
 
   val metrics : t -> Metrics.t
   (** The pool's shared registry: [serve.requests.<op>] counters and
@@ -144,7 +161,10 @@ module Pool : sig
   (** The request handler itself (exposed for tests and direct, socketless
       use): compile/compare/check against the given session table (or a
       throwaway one), stats/shutdown answered from pool state.  Never
-      raises — internal failures come back as typed [internal] errors. *)
+      raises — internal failures come back as typed [internal] errors.
+      Traced like a socket request (minus the queue-wait span, since no
+      queue is crossed): the response carries [trace_id], failures carry
+      the flight dump, and [on_trace] fires with pid/tid 0. *)
 end
 
 (** {1 The daemon} *)
@@ -155,6 +175,7 @@ val run :
   ?max_batch:int ->
   ?cache_dir:string ->
   ?cache_max_bytes:int ->
+  ?trace_json:string ->
   ?log:(string -> unit) ->
   socket:string ->
   unit ->
@@ -163,14 +184,21 @@ val run :
     [shutdown] request (or SIGINT/SIGTERM), drain the pool and clean up.
     With [cache_dir], attaches the persistent design store first so
     every worker — and the next daemon — shares compiled artifacts.
-    [Error message] when the socket cannot be bound. *)
+    With [trace_json], every request's span tree is collected into a
+    Chrome [trace_event] sink (pid = worker index, tid = domain id) and
+    written to that file at shutdown — load it in [about://tracing] or
+    Perfetto.  [Error message] when the socket cannot be bound. *)
 
 (** {1 A minimal client} *)
 
 module Client : sig
   type t
 
-  val connect : socket:string -> (t, string) result
+  val connect : ?timeout_ms:int -> socket:string -> unit -> (t, string) result
+  (** [timeout_ms] (when positive) bounds every send and receive on the
+      connection — {!rpc} against a wedged daemon then fails with a
+      "timed out" [Error] instead of hanging the script. *)
+
   val rpc : t -> string -> (string, string) result
   (** Send one raw-JSON request frame, read one response frame (this
       client keeps one request in flight, so ordering is trivial). *)

@@ -16,6 +16,7 @@ type level = Source | Ir
 type record = {
   pass_name : string;
   level : level;
+  start_ms : float;
   wall_ms : float;
   before : size;
   after : size;
@@ -270,12 +271,16 @@ let maybe_dump opts ~pass_name render =
     opts.dump_sink
       (Printf.sprintf "=== IR after %s ===\n%s\n" pass_name (render ()))
 
-let run_program_passes pl program ~entry =
+(* [epoch] anchors every record's start_ms to the pipeline run's begin,
+   so the whole trace shares one timeline (in CPU-time milliseconds, the
+   same clock wall_ms already uses). *)
+let run_program_passes_from epoch pl program ~entry =
   let opts = !options in
   let program, rev_trace =
     List.fold_left
       (fun (program, acc) pass ->
         let before = size_of_program program in
+        let start_ms = (Sys.time () -. epoch) *. 1000. in
         let program', wall_ms = timed (fun () -> pass.pp_transform program) in
         maybe_dump opts ~pass_name:pass.pp_name (fun () ->
             Pretty.program_to_string program');
@@ -287,28 +292,35 @@ let run_program_passes pl program ~entry =
           else 0
         in
         ( program',
-          { pass_name = pass.pp_name; level = Source; wall_ms; before;
-            after = size_of_program program'; verified }
+          { pass_name = pass.pp_name; level = Source; start_ms; wall_ms;
+            before; after = size_of_program program'; verified }
           :: acc ))
       (program, []) pl.pl_program_passes
   in
   (program, List.rev rev_trace)
 
+let run_program_passes pl program ~entry =
+  run_program_passes_from (Sys.time ()) pl program ~entry
+
 let run pl program ~entry =
   let opts = !options in
-  let program, source_trace = run_program_passes pl program ~entry in
+  let epoch = Sys.time () in
+  let program, source_trace = run_program_passes_from epoch pl program ~entry in
   let src_size = size_of_program program in
+  let lower_start = (Sys.time () -. epoch) *. 1000. in
   let lowered, wall_ms = timed (fun () -> Lower.lower_program program ~entry) in
   maybe_dump opts ~pass_name:"lower" (fun () ->
       Cir.to_string lowered.Lower.func);
   let lower_record =
-    { pass_name = "lower"; level = Ir; wall_ms; before = src_size;
-      after = size_of_func lowered.Lower.func; verified = 0 }
+    { pass_name = "lower"; level = Ir; start_ms = lower_start; wall_ms;
+      before = src_size; after = size_of_func lowered.Lower.func;
+      verified = 0 }
   in
   let func, rev_trace =
     List.fold_left
       (fun (func, acc) pass ->
         let before = size_of_func func in
+        let start_ms = (Sys.time () -. epoch) *. 1000. in
         let func', wall_ms = timed (fun () -> pass.fp_transform func) in
         maybe_dump opts ~pass_name:pass.fp_name (fun () -> Cir.to_string func');
         let verified =
@@ -318,7 +330,7 @@ let run pl program ~entry =
           else 0
         in
         ( func',
-          { pass_name = pass.fp_name; level = Ir; wall_ms; before;
+          { pass_name = pass.fp_name; level = Ir; start_ms; wall_ms; before;
             after = size_of_func func'; verified }
           :: acc ))
       (lowered.Lower.func, []) pl.pl_func_passes

@@ -27,6 +27,9 @@ type level = Source | Ir
 type record = {
   pass_name : string;
   level : level;
+  start_ms : float;
+      (** offset of this pass's start from the pipeline run's begin, so a
+          trace can be replayed as a span tree without re-timing *)
   wall_ms : float;
   before : size;
   after : size;

@@ -7,3 +7,4 @@
 module Vcd = Vcd
 module Metrics = Metrics
 module Trace = Trace
+module Span = Span

@@ -129,6 +129,7 @@ let json_of_pass_trace (trace : Passes.trace) : Metrics.json =
                  (match r.Passes.level with
                  | Passes.Source -> "source"
                  | Passes.Ir -> "ir") );
+             ("start_ms", Metrics.Fixed (3, r.Passes.start_ms));
              ("wall_ms", Metrics.Fixed (3, r.Passes.wall_ms));
              ("before", size r.Passes.before);
              ("after", size r.Passes.after);

@@ -66,13 +66,13 @@ let check_vcd_structure name contents =
 
 let test_metrics_render () =
   let m = Metrics.create () in
-  Metrics.set_string m "schema" "chls.metrics/2";
+  Metrics.set_string m "schema" "chls.metrics/3";
   Metrics.set_int m "sim.cycles" 35;
   Metrics.set_int m "sim.events" 3;
   Metrics.set_fixed m "sim.ratio" ~decimals:2 1.5;
   let rendered = Metrics.render (Metrics.to_json m) in
   let expected =
-    "{\n  \"schema\": \"chls.metrics/2\",\n  \"sim\": {\n    \"cycles\": 35,\n\
+    "{\n  \"schema\": \"chls.metrics/3\",\n  \"sim\": {\n    \"cycles\": 35,\n\
     \    \"events\": 3,\n    \"ratio\": 1.50\n  }\n}"
   in
   Alcotest.(check string) "dotted names nest, Fixed is deterministic"

@@ -258,7 +258,7 @@ let test_handle_stats_and_internal_safety () =
   with_pool ~domains:1 (fun pool ->
       let resp = handle pool (Serve.Stats { id = Metrics.Int 5 }) in
       Alcotest.(check bool) "ok" true (bool_member "ok" resp);
-      Alcotest.check json "schema" (Metrics.String "chls.metrics/2")
+      Alcotest.check json "schema" (Metrics.String "chls.metrics/3")
         (member "schema" resp))
 
 let test_pool_processes_concurrent_batch () =
