@@ -91,6 +91,13 @@ let () =
     Serve_bench.run_smoke ();
     exit 0
   end;
+  (* CI entry: the fuzz bench alone, so BENCH_fuzz.json (dialect-matrix
+     fuzz throughput + the workload oracle-agreement matrix, failing hard
+     on any divergence) regenerates on every push *)
+  if Array.exists (fun a -> a = "--fuzz-smoke") Sys.argv then begin
+    Fuzz_bench.run_smoke ();
+    exit 0
+  end;
   print_endline
     "CHLS experiment harness — reproducing Edwards, \"The Challenges of \
      Hardware\nSynthesis from C-like Languages\" (DATE 2005).";
@@ -102,6 +109,9 @@ let () =
   Neteval_bench.run_all ();
   (* the driver sweep's cache counters are likewise deterministic *)
   Driver_bench.run_all ();
+  (* fuzz corpus + oracle-agreement matrix: deterministic generation, so
+     the agreement counts are stable (only wall time varies) *)
+  Fuzz_bench.run_all ();
   (* the serve bench's cache-provenance counts and oracle checks are
      deterministic too; it must precede anything that might spawn a
      domain, because its persistence phase forks *)

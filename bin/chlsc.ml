@@ -4,6 +4,7 @@
      chlsc check FILE                      which dialects accept this program?
      chlsc run FILE -e main -a 1,2         software oracle (reference interp)
      chlsc compile FILE -b bachc -e main   synthesize; optional --run/--verilog
+     chlsc fuzz --seed 1 -n 50             differential dialect-matrix fuzzing
 
    See README.md for the tour. *)
 
@@ -172,9 +173,13 @@ let check_cmd =
         (fun (d : Dialect.t) ->
           match Dialect.check d program with
           | [] -> Printf.printf "%-18s accepts\n" d.Dialect.name
-          | { Dialect.rule; where } :: _ ->
-            Printf.printf "%-18s rejects: %s (in %s)\n" d.Dialect.name rule
-              where)
+          | { Dialect.rule; where; vloc } :: _ ->
+            if vloc = Ast.no_loc then
+              Printf.printf "%-18s rejects: %s (in %s)\n" d.Dialect.name rule
+                where
+            else
+              Printf.printf "%-18s rejects: %s (in %s, at %d:%d)\n"
+                d.Dialect.name rule where vloc.Ast.line vloc.Ast.col)
         Dialect.table1
     end
   in
@@ -1249,6 +1254,138 @@ let analyze_cmd =
   in
   Cmd.v (Cmd.info "analyze" ~doc) Term.(const run $ file_arg $ entry_arg)
 
+(* chlsc fuzz: the dialect-matrix differential fuzzer (lib/core/fuzz.ml).
+   Exit 0 when every backend agrees with the reference on every generated
+   program, 2 when any divergence survived — shrunk reproducers land in
+   --out-dir so a failing run always leaves a pinnable .c behind. *)
+let fuzz_cmd =
+  let doc =
+    "Differentially fuzz the backend matrix with dialect-gated random \
+     programs"
+  in
+  let seed_arg =
+    Arg.(value & opt int 1
+         & info [ "seed" ] ~docv:"N"
+             ~doc:
+               "Generation seed.  The same seed, count and dialect list \
+                reproduce the same corpus bit-for-bit")
+  in
+  let count_arg =
+    Arg.(value & opt int 25
+         & info [ "n"; "count" ] ~docv:"N"
+             ~doc:"Programs to generate per dialect (default 25)")
+  in
+  let dialects_arg =
+    Arg.(value & opt (some string) None
+         & info [ "dialects" ] ~docv:"D,D,..."
+             ~doc:
+               "Comma-separated dialects to generate for (backend names or \
+                Table 1 spellings).  Default: every dialect whose backend \
+                compiles from C")
+  in
+  let out_dir_arg =
+    Arg.(value & opt (some string) None
+         & info [ "out-dir" ] ~docv:"DIR"
+             ~doc:
+               "Write each divergence as $(docv)/<dialect>-<index>-\
+                <backend>.c (shrunk reproducer) and .orig.c (as generated)")
+  in
+  let verify_passes_flag =
+    Arg.(value & flag
+         & info [ "verify-passes" ]
+             ~doc:
+               "Also interpret the IR after every lowering pass on the \
+                fuzz vectors; a pass that changes observable behaviour \
+                becomes a divergence")
+  in
+  let verify_sim_flag =
+    Arg.(value & flag
+         & info [ "verify-sim" ]
+             ~doc:
+               "Also cross-check the compiled simulation engine against \
+                the event-driven oracle on every agreeing design")
+  in
+  let resolve_dialect name =
+    match Chls.backend_of_name name with
+    | Some b -> Chls.dialect_of b
+    | None -> (
+      match Dialect.find name with
+      | Some d -> d
+      | None ->
+        Printf.eprintf "unknown dialect %S (try handelc, specc, bachc)\n"
+          name;
+        exit 1)
+  in
+  let slug name =
+    String.lowercase_ascii
+      (String.map (function ' ' | '(' | ')' | '/' -> '_' | c -> c) name)
+  in
+  let run seed n dialects out_dir verify_passes verify_sim metrics_json =
+    let dialects =
+      match dialects with
+      | None -> Fuzz.default_dialects ()
+      | Some s ->
+        List.map resolve_dialect
+          (List.filter
+             (fun s -> String.trim s <> "")
+             (String.split_on_char ',' s))
+    in
+    let reports =
+      Fuzz.run ~verify_passes ~verify_sim ~dialects ~seed ~n ()
+    in
+    let total_div = ref 0 in
+    List.iter
+      (fun (r : Fuzz.report) ->
+        let nd = List.length r.Fuzz.rep_divergences in
+        total_div := !total_div + nd;
+        Printf.printf
+          "%-18s %3d programs: %d agreed, %d rejected (expected), %d \
+           divergence(s)  [%.0f ms]\n"
+          r.Fuzz.rep_dialect r.Fuzz.rep_generated r.Fuzz.rep_agreed
+          r.Fuzz.rep_rejected nd r.Fuzz.rep_wall_ms;
+        List.iter
+          (fun (d : Fuzz.divergence) ->
+            Printf.printf "  #%d %s: %s (%s) args=%s\n" d.Fuzz.div_index
+              d.Fuzz.div_backend d.Fuzz.div_class d.Fuzz.div_detail
+              (String.concat ","
+                 (List.map string_of_int d.Fuzz.div_args));
+            match out_dir with
+            | None -> ()
+            | Some dir ->
+              if not (Sys.file_exists dir) then Unix.mkdir dir 0o755;
+              let base =
+                Printf.sprintf "%s/%s-%d-%s" dir
+                  (slug d.Fuzz.div_dialect)
+                  d.Fuzz.div_index
+                  (slug d.Fuzz.div_backend)
+              in
+              Out_channel.with_open_text (base ^ ".c") (fun oc ->
+                  Printf.fprintf oc
+                    "/* %s on %s: %s\n   args: %s\n   %s */\n%s"
+                    d.Fuzz.div_backend d.Fuzz.div_dialect d.Fuzz.div_class
+                    (String.concat ","
+                       (List.map string_of_int d.Fuzz.div_args))
+                    d.Fuzz.div_detail d.Fuzz.div_shrunk);
+              Out_channel.with_open_text (base ^ ".orig.c") (fun oc ->
+                  output_string oc d.Fuzz.div_source);
+              Printf.printf "    reproducer: %s.c\n" base)
+          r.Fuzz.rep_divergences)
+      reports;
+    (match metrics_json with
+    | None -> ()
+    | Some path ->
+      Metrics.write_file (Fuzz.metrics reports) path;
+      Printf.printf "wrote %s\n" path);
+    if !total_div > 0 then begin
+      Printf.printf "FUZZ: %d divergence(s)\n" !total_div;
+      exit 2
+    end
+    else print_endline "FUZZ: all backends agree with the reference"
+  in
+  Cmd.v (Cmd.info "fuzz" ~doc)
+    Term.(const run $ seed_arg $ count_arg $ dialects_arg $ out_dir_arg
+          $ verify_passes_flag $ verify_sim_flag $ metrics_json_arg)
+
 let () =
   let doc = "C-like hardware synthesis: the DATE 2005 survey, executable" in
   let info = Cmd.info "chlsc" ~version:"1.0.0" ~doc in
@@ -1256,4 +1393,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ table1_cmd; check_cmd; run_cmd; compile_cmd; compare_cmd;
-            analyze_cmd; serve_cmd; client_cmd; cache_cmd ]))
+            analyze_cmd; fuzz_cmd; serve_cmd; client_cmd; cache_cmd ]))

@@ -1,0 +1,27 @@
+/* Adler-32 as a two-process pipeline: a byte producer and a mod-sum
+   consumer meeting on a rendezvous channel.  Accepted exactly by the
+   par-capable dialects; must agree with the sequential adler32 kernel:
+
+     chlsc compare examples/adler32_par.c -e run --args 1   # 1054869625 */
+
+chan int c;
+
+int run(int seed) {
+  int a = 1;
+  int b = 0;
+  par {
+    {
+      for (int i = 0; i < 16; i = i + 1) {
+        send(c, (seed * (i + 1) * 31) & 255);
+      }
+    }
+    {
+      for (int i = 0; i < 16; i = i + 1) {
+        int byte = recv(c);
+        a = (a + byte) % 65521;
+        b = (b + a) % 65521;
+      }
+    }
+  }
+  return b * 65536 + a;
+}

@@ -1,0 +1,17 @@
+/* Bit-serial CRC-32 (reflected 0xEDB88320) of one input word.
+   CRC-32 of four zero bytes is the standard 0x2144DF1C:
+
+     chlsc compare examples/crc32.c -e crc32 --args 0
+     chlsc run examples/crc32.c -e crc32 -a 0        # 558161692 */
+
+int crc32(int input) {
+  unsigned int crc = 0xFFFFFFFFu;
+  unsigned int data = (unsigned int)input;
+  for (int i = 0; i < 32; i = i + 1) {
+    unsigned int bit = (crc ^ data) & 1u;
+    crc = crc >> 1;
+    if (bit != 0u) { crc = crc ^ 0xEDB88320u; }
+    data = data >> 1;
+  }
+  return (int)(crc ^ 0xFFFFFFFFu);
+}

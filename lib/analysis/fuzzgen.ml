@@ -1,0 +1,516 @@
+(* Dialect-matrix program generator and shrinker.
+
+   Where test/test_random.ml's generator emits expression soup as
+   strings, this one builds AST programs gated on a dialect's Table-1
+   feature row: Handel-C draws get [par] + rendezvous channels and
+   [delay], HardwareC draws get [par]/channels/[constrain], SpecC
+   shared-variable [par], C2Verilog pointer walks and bounded recursion,
+   and the sequential rows get plain loop nests — so the cross-backend
+   oracle is pointed exactly at the constructs where the dialects
+   disagree.
+
+   Every generated program is safe by construction:
+   - shift amounts are masked to 0..7, divisors guarded into 1..8,
+     array/pointer offsets masked to the buffer length;
+   - while/do-while loops are in counting form (a fresh counter, a
+     [> 0] guard, a protected final decrement the body cannot touch);
+   - par arms own disjoint state (arm k writes only global gk and its
+     own locals) so the static race checker and the seeded scheduler
+     both stay quiet;
+   - channel traffic is straight-line with matched send/recv counts, so
+     rendezvous cannot deadlock;
+   - recursion goes through one helper with a masked (0..15) argument.
+
+   The shrinker is a greedy one-edit reducer over the same AST: drop a
+   statement, unwrap a control construct, zero an expression — guarded
+   so an edit cannot manufacture a hang (loop decrements and channel
+   balance are preserved structurally; everything else is delegated to
+   the caller's [keep] predicate, which re-typechecks). *)
+
+let int_t = Ctypes.int_t
+
+let const n = Ast.mk_expr (Ast.Const (Int64.of_int n, int_t))
+let var v = Ast.mk_expr (Ast.Var v)
+let binop op a b = Ast.mk_expr (Ast.Binop (op, a, b))
+let unop op a = Ast.mk_expr (Ast.Unop (op, a))
+let stmt s = Ast.mk_stmt s
+let assign_to v e = stmt (Ast.Expr (Ast.mk_expr (Ast.Assign (var v, e))))
+
+(* --- generation ------------------------------------------------------- *)
+
+type ctx = {
+  rng : Random.State.t;
+  d : Dialect.t;
+  mutable counter : int;
+  has_helper : bool;  (* bounded-recursion helper present *)
+}
+
+(* What an expression or assignment may touch at this point: [rw] are
+   assignable scalars, [ro] read-only ones (loop counters, params inside
+   par arms), [arrays]/[ptrs] the addressable state.  Par arms get a
+   scope stripped down to their own globals so arms never share state. *)
+type scope = {
+  rw : string list;
+  ro : string list;
+  arrays : string list;
+  ptrs : string list;
+}
+
+let fresh cx prefix =
+  cx.counter <- cx.counter + 1;
+  Printf.sprintf "%s%d" prefix cx.counter
+
+let rand cx n = Random.State.int cx.rng n
+let pick cx l = List.nth l (rand cx (List.length l))
+let chance cx p = Random.State.float cx.rng 1.0 < p
+
+(* offsets into the 8-word buffer: [(e & 7)] *)
+let masked e = binop Ast.Band e (const 7)
+
+let rec gen_expr cx sc depth =
+  let readable = sc.rw @ sc.ro in
+  let leaf () =
+    if readable <> [] && chance cx 0.6 then var (pick cx readable)
+    else const (rand cx 41 - 20)
+  in
+  if depth = 0 then leaf ()
+  else
+    match rand cx 12 with
+    | 0 | 1 | 2 ->
+      let op = pick cx [ Ast.Add; Ast.Sub; Ast.Mul; Ast.Band; Ast.Bor;
+                         Ast.Bxor ] in
+      binop op (gen_expr cx sc (depth - 1)) (gen_expr cx sc (depth - 1))
+    | 3 ->
+      let op = pick cx [ Ast.Shl; Ast.Shr ] in
+      binop op (gen_expr cx sc (depth - 1))
+        (masked (gen_expr cx sc (depth - 1)))
+    | 4 ->
+      (* division / modulo, divisor guarded into 1..8 *)
+      let op = pick cx [ Ast.Div; Ast.Mod ] in
+      binop op
+        (gen_expr cx sc (depth - 1))
+        (binop Ast.Add (masked (gen_expr cx sc (depth - 1))) (const 1))
+    | 5 ->
+      let op = pick cx [ Ast.Lt; Ast.Le; Ast.Eq; Ast.Ne; Ast.Gt; Ast.Ge ] in
+      binop op (gen_expr cx sc (depth - 1)) (gen_expr cx sc (depth - 1))
+    | 6 when sc.arrays <> [] ->
+      Ast.mk_expr
+        (Ast.Index (var (pick cx sc.arrays),
+                    masked (gen_expr cx sc (depth - 1))))
+    | 7 when sc.ptrs <> [] ->
+      Ast.mk_expr
+        (Ast.Deref
+           (binop Ast.Add (var (pick cx sc.ptrs))
+              (masked (gen_expr cx sc (depth - 1)))))
+    | 8 ->
+      unop (pick cx [ Ast.Neg; Ast.Bit_not ]) (gen_expr cx sc (depth - 1))
+    | 9 ->
+      Ast.mk_expr
+        (Ast.Cond
+           (gen_expr cx sc (depth - 1), gen_expr cx sc (depth - 1),
+            gen_expr cx sc (depth - 1)))
+    | 10 when cx.has_helper ->
+      (* bounded recursion: depth masked to 0..15 *)
+      Ast.mk_expr
+        (Ast.Call ("rec1", [ binop Ast.Band (gen_expr cx sc (depth - 1))
+                               (const 15) ]))
+    | _ -> leaf ()
+
+(* One statement; returns the scope later statements see (decls extend
+   it).  [in_par] suppresses nesting of par/channels/constrain inside
+   par arms — the discipline that keeps arms race- and deadlock-free. *)
+let rec gen_stmt cx sc ~depth ~in_par : Ast.stmt list * scope =
+  let e () = gen_expr cx sc 2 in
+  let simple () =
+    match rand cx (if sc.arrays <> [] || sc.ptrs <> [] then 4 else 3) with
+    | 0 when sc.rw <> [] -> ([ assign_to (pick cx sc.rw) (e ()) ], sc)
+    | 1 ->
+      let name = fresh cx "v" in
+      ( [ stmt (Ast.Decl (int_t, name, Some (e ()))) ],
+        { sc with rw = name :: sc.rw } )
+    | 0 | 2 ->
+      let name = fresh cx "v" in
+      ( [ stmt (Ast.Decl (int_t, name, Some (e ()))) ],
+        { sc with rw = name :: sc.rw } )
+    | _ ->
+      if sc.ptrs <> [] && chance cx 0.5 then
+        ( [ stmt
+              (Ast.Expr
+                 (Ast.mk_expr
+                    (Ast.Assign
+                       ( Ast.mk_expr
+                           (Ast.Deref
+                              (binop Ast.Add (var (pick cx sc.ptrs))
+                                 (masked (e ())))),
+                         e () )))) ],
+          sc )
+      else
+        ( [ stmt
+              (Ast.Expr
+                 (Ast.mk_expr
+                    (Ast.Assign
+                       ( Ast.mk_expr
+                           (Ast.Index
+                              (var (List.hd sc.arrays), masked (e ()))),
+                         e () )))) ],
+          sc )
+  in
+  if depth = 0 then simple ()
+  else
+    match rand cx 10 with
+    | 0 | 1 | 2 -> simple ()
+    | 3 ->
+      (* if/else; declarations stay scoped to their branch *)
+      let then_b = gen_block cx sc ~n:(1 + rand cx 2) ~depth:(depth - 1)
+                     ~in_par in
+      let else_b = gen_block cx sc ~n:(1 + rand cx 2) ~depth:(depth - 1)
+                     ~in_par in
+      ([ stmt (Ast.If (e (), then_b, else_b)) ], sc)
+    | 4 ->
+      (* statically bounded counting for-loop (Loopform shape); the
+         counter is read-only inside the body *)
+      let i = fresh cx "i" in
+      let trips = 2 + rand cx 5 in
+      let body_sc = { sc with ro = i :: sc.ro } in
+      let body = gen_block cx body_sc ~n:(1 + rand cx 2) ~depth:(depth - 1)
+                   ~in_par in
+      ( [ stmt
+            (Ast.For
+               ( Some (stmt (Ast.Decl (int_t, i, Some (const 0)))),
+                 Some (binop Ast.Lt (var i) (const trips)),
+                 Some (Ast.mk_expr
+                         (Ast.Assign (var i, binop Ast.Add (var i) (const 1)))),
+                 body )) ],
+        sc )
+    | 5 when cx.d.Dialect.allows_unbounded_loops && not in_par ->
+      (* counting while: fresh counter, [> 0] guard, protected final
+         decrement the body cannot reach (the counter is read-only) *)
+      let w = fresh cx "w" in
+      let trips = 2 + rand cx 5 in
+      let body_sc = { sc with ro = w :: sc.ro } in
+      let body = gen_block cx body_sc ~n:(1 + rand cx 2) ~depth:(depth - 1)
+                   ~in_par in
+      let dec =
+        assign_to w (binop Ast.Sub (var w) (const 1))
+      in
+      let loop =
+        if chance cx 0.3 then
+          stmt (Ast.Do_while (body @ [ dec ], binop Ast.Gt (var w) (const 0)))
+        else
+          stmt (Ast.While (binop Ast.Gt (var w) (const 0), body @ [ dec ]))
+      in
+      ([ stmt (Ast.Decl (int_t, w, Some (const trips))); loop ], sc)
+    | 6 when cx.d.Dialect.allows_delay -> ([ stmt Ast.Delay ], sc)
+    | 7 when cx.d.Dialect.allows_constrain && not in_par ->
+      (* generous bounds keep any body satisfiable *)
+      let body = gen_block cx sc ~n:(1 + rand cx 2) ~depth:0 ~in_par in
+      ([ stmt (Ast.Constrain (0, 4096, body)) ], sc)
+    | _ -> simple ()
+
+and gen_block cx sc ~n ~depth ~in_par : Ast.block =
+  let rec go n sc acc =
+    if n = 0 then List.rev acc
+    else
+      let stmts, sc = gen_stmt cx sc ~depth ~in_par in
+      go (n - 1) sc (List.rev_append stmts acc)
+  in
+  go n sc []
+
+(* A two-arm par region.  Arm 0 owns g0, arm 1 owns g1; both may read
+   the entry parameters.  With channels on, traffic is straight-line
+   with matched counts: arm 0 sends k values, arm 1 folds k receives
+   into g1. *)
+let gen_par cx =
+  let arm_scope own = { rw = [ own ]; ro = [ "a"; "b" ]; arrays = [];
+                        ptrs = [] } in
+  if cx.d.Dialect.allows_channels && chance cx 0.7 then begin
+    let k = 1 + rand cx 3 in
+    let sends =
+      List.init k (fun _ ->
+          stmt (Ast.Chan_send ("c", gen_expr cx (arm_scope "g0") 2)))
+    in
+    let recvs =
+      List.concat
+        (List.init k (fun j ->
+             let r = fresh cx "r" in
+             [ stmt (Ast.Decl (int_t, r,
+                               Some (Ast.mk_expr (Ast.Chan_recv "c"))));
+               assign_to "g1"
+                 (binop Ast.Add (var "g1")
+                    (binop Ast.Mul (var r) (const (j + 1)))) ]))
+    in
+    (* pure trailing work after the channel traffic keeps arms busy
+       without risking an unmatched rendezvous *)
+    let tail0 =
+      if chance cx 0.5 then
+        [ assign_to "g0" (gen_expr cx (arm_scope "g0") 2) ]
+      else []
+    in
+    stmt (Ast.Par [ sends @ tail0; recvs ])
+  end
+  else
+    let arm own =
+      gen_block cx (arm_scope own) ~n:(1 + rand cx 3) ~depth:1 ~in_par:true
+    in
+    stmt (Ast.Par [ arm "g0"; arm "g1" ])
+
+let recursion_helper =
+  { Ast.f_name = "rec1";
+    f_ret = int_t;
+    f_params = [ (int_t, "n") ];
+    f_body =
+      [ stmt
+          (Ast.If
+             ( binop Ast.Le (var "n") (const 0),
+               [ stmt (Ast.Return (Some (const 1))) ],
+               [] ));
+        stmt
+          (Ast.Return
+             (Some
+                (binop Ast.Add (var "n")
+                   (binop Ast.Mul
+                      (Ast.mk_expr
+                         (Ast.Call
+                            ("rec1", [ binop Ast.Sub (var "n") (const 1) ])))
+                      (const 3))))) ] }
+
+let generate (d : Dialect.t) ~seed ~index : Ast.program =
+  let rng =
+    Random.State.make
+      [| seed; index; Hashtbl.hash d.Dialect.name; 0x4c48 |]
+  in
+  let has_helper = d.Dialect.allows_recursion && Random.State.bool rng in
+  let cx = { rng; d; counter = 0; has_helper } in
+  let use_par = d.Dialect.allows_par && chance cx 0.8 in
+  let use_ptr = d.Dialect.allows_pointers && chance cx 0.8 in
+  let sc =
+    { rw = [ "a"; "b" ] @ (if use_par then [ "g0"; "g1" ] else []);
+      ro = [];
+      arrays = [ "buf" ];
+      ptrs = [] }
+  in
+  let prelude, sc =
+    if use_ptr then
+      ( [ stmt
+            (Ast.Decl
+               (Ctypes.Pointer int_t, "p",
+                Some (var "buf"))) ],
+        { sc with ptrs = [ "p" ] } )
+    else ([], sc)
+  in
+  let body1 = gen_block cx sc ~n:(2 + rand cx 4) ~depth:2 ~in_par:false in
+  let par_part = if use_par then [ gen_par cx ] else [] in
+  let body2 = gen_block cx sc ~n:(1 + rand cx 3) ~depth:1 ~in_par:false in
+  let ret = stmt (Ast.Return (Some (gen_expr cx sc 2))) in
+  let f =
+    { Ast.f_name = "f";
+      f_ret = int_t;
+      f_params = [ (int_t, "a"); (int_t, "b") ];
+      f_body = prelude @ body1 @ par_part @ body2 @ [ ret ] }
+  in
+  let globals =
+    { Ast.g_name = "buf"; g_ty = Ctypes.Array (int_t, 8); g_init = None }
+    ::
+    (if use_par then
+       [ { Ast.g_name = "g0"; g_ty = int_t; g_init = None };
+         { Ast.g_name = "g1"; g_ty = int_t; g_init = None } ]
+     else [])
+  in
+  let chans =
+    if use_par && d.Dialect.allows_channels then
+      [ { Ast.c_name = "c"; c_ty = int_t } ]
+    else []
+  in
+  { Ast.globals; chans;
+    funcs = (if has_helper then [ recursion_helper ] else []) @ [ f ] }
+
+(* --- construct census -------------------------------------------------- *)
+
+let construct_keys =
+  [ "par"; "chan_send"; "chan_recv"; "delay"; "constrain"; "while";
+    "do_while"; "for"; "if"; "pointer"; "array"; "div_mod"; "call";
+    "ternary" ]
+
+let construct_counts (p : Ast.program) : (string * int) list =
+  let tbl = Hashtbl.create 16 in
+  List.iter (fun k -> Hashtbl.replace tbl k 0) construct_keys;
+  let bump k = Hashtbl.replace tbl k (Hashtbl.find tbl k + 1) in
+  List.iter
+    (fun f ->
+      Ast.iter_func
+        ~stmt:(fun st ->
+          match st.Ast.s with
+          | Ast.Par _ -> bump "par"
+          | Ast.Chan_send _ -> bump "chan_send"
+          | Ast.Delay -> bump "delay"
+          | Ast.Constrain _ -> bump "constrain"
+          | Ast.While _ -> bump "while"
+          | Ast.Do_while _ -> bump "do_while"
+          | Ast.For _ -> bump "for"
+          | Ast.If _ -> bump "if"
+          | Ast.Expr _ | Ast.Decl _ | Ast.Return _ | Ast.Break
+          | Ast.Continue | Ast.Block _ -> ())
+        ~expr:(fun e ->
+          match e.Ast.e with
+          | Ast.Chan_recv _ -> bump "chan_recv"
+          | Ast.Deref _ | Ast.Addr_of _ -> bump "pointer"
+          | Ast.Index _ -> bump "array"
+          | Ast.Binop ((Ast.Div | Ast.Mod), _, _) -> bump "div_mod"
+          | Ast.Call _ -> bump "call"
+          | Ast.Cond _ -> bump "ternary"
+          | Ast.Const _ | Ast.Var _ | Ast.Unop _ | Ast.Binop _
+          | Ast.Assign _ | Ast.Cast _ -> ())
+        f)
+    p.Ast.funcs;
+  List.map (fun k -> (k, Hashtbl.find tbl k)) construct_keys
+
+(* --- shrinking --------------------------------------------------------- *)
+
+let is_const (e : Ast.expr) =
+  match e.Ast.e with Ast.Const _ -> true | _ -> false
+
+let has_chan_ops (b : Ast.block) =
+  List.exists
+    (fun st ->
+      let found = ref false in
+      Ast.iter_stmt
+        ~stmt:(fun s ->
+          match s.Ast.s with
+          | Ast.Chan_send _ -> found := true
+          | _ -> ())
+        ~expr:(fun e ->
+          match e.Ast.e with
+          | Ast.Chan_recv _ -> found := true
+          | _ -> ())
+        st;
+      !found)
+    b
+
+(* Variables a loop condition reads; used to protect counting-loop
+   decrements from removal (removing one would manufacture a hang the
+   [keep] predicate then has to time out on). *)
+let cond_vars (e : Ast.expr) =
+  let vs = ref [] in
+  Ast.iter_expr
+    (fun e ->
+      match e.Ast.e with Ast.Var v -> vs := v :: !vs | _ -> ())
+    e;
+  !vs
+
+let is_protected_decrement protect (st : Ast.stmt) =
+  match st.Ast.s with
+  | Ast.Expr { Ast.e = Ast.Assign ({ Ast.e = Ast.Var v; _ }, _); _ } ->
+    List.mem v protect
+  | _ -> false
+
+(* All programs reachable by one reducing edit of [b].  [protect] lists
+   loop-counter variables whose updates must survive. *)
+let rec shrink_block ~protect (b : Ast.block) : Ast.block list =
+  let at i f = List.mapi (fun j st -> if i = j then f st else [ st ]) b
+               |> List.concat in
+  let drops =
+    List.concat
+      (List.mapi
+         (fun i st ->
+           if is_protected_decrement protect st then []
+           else [ at i (fun _ -> []) ])
+         b)
+  in
+  let rewrites =
+    List.concat
+      (List.mapi
+         (fun i st ->
+           List.map (fun st' -> at i (fun _ -> [ st' ]))
+             (shrink_stmt ~protect st))
+         b)
+  in
+  drops @ rewrites
+
+and shrink_stmt ~protect (st : Ast.stmt) : Ast.stmt list =
+  let mk s = Ast.mk_stmt ~loc:st.Ast.sloc s in
+  match st.Ast.s with
+  | Ast.If (c, t, e) ->
+    [ mk (Ast.Block t); mk (Ast.Block e) ]
+    @ List.map (fun t' -> mk (Ast.If (c, t', e))) (shrink_block ~protect t)
+    @ List.map (fun e' -> mk (Ast.If (c, t, e'))) (shrink_block ~protect e)
+  | Ast.While (c, body) ->
+    let protect = cond_vars c @ protect in
+    mk (Ast.Block body)
+    :: List.map (fun b -> mk (Ast.While (c, b))) (shrink_block ~protect body)
+  | Ast.Do_while (body, c) ->
+    let protect = cond_vars c @ protect in
+    mk (Ast.Block body)
+    :: List.map (fun b -> mk (Ast.Do_while (b, c)))
+         (shrink_block ~protect body)
+  | Ast.For (init, cond, step, body) ->
+    List.map (fun b -> mk (Ast.For (init, cond, step, b)))
+      (shrink_block ~protect body)
+  | Ast.Par arms when not (List.exists has_chan_ops arms) ->
+    (* without rendezvous the arms can be sequenced or dropped *)
+    mk (Ast.Block (List.concat arms))
+    :: List.map (fun arm -> mk (Ast.Block arm)) arms
+    @ List.concat
+        (List.mapi
+           (fun i arm ->
+             List.map
+               (fun arm' ->
+                 mk (Ast.Par (List.mapi (fun j a -> if i = j then arm' else a)
+                                arms)))
+               (shrink_block ~protect arm))
+           arms)
+  | Ast.Par arms ->
+    (* rendezvous present: only shrink within arms, preserving balance
+       (send/recv statements themselves are never dropped here — the
+       block-level drop above skips nothing, but an unmatched edit fails
+       [keep] via deadlock; cheap guard: don't offer arm drops) *)
+    List.concat
+      (List.mapi
+         (fun i arm ->
+           List.map
+             (fun arm' ->
+               mk (Ast.Par (List.mapi (fun j a -> if i = j then arm' else a)
+                              arms)))
+             (shrink_block ~protect arm))
+         arms)
+  | Ast.Constrain (_, _, body) -> [ mk (Ast.Block body) ]
+  | Ast.Block body ->
+    List.map (fun b -> mk (Ast.Block b)) (shrink_block ~protect body)
+  | Ast.Decl (ty, n, Some e) when not (is_const e) ->
+    [ mk (Ast.Decl (ty, n, Some (const 0))) ]
+  | Ast.Expr { Ast.e = Ast.Assign (l, r); _ }
+    when not (is_const r) ->
+    [ mk (Ast.Expr (Ast.mk_expr (Ast.Assign (l, const 0)))) ]
+  | Ast.Chan_send (ch, e) when not (is_const e) ->
+    [ mk (Ast.Chan_send (ch, const 0)) ]
+  | Ast.Return (Some e) when not (is_const e) ->
+    [ mk (Ast.Return (Some (const 0))) ]
+  | Ast.Expr _ | Ast.Decl _ | Ast.Return _ | Ast.Break | Ast.Continue
+  | Ast.Chan_send _ | Ast.Delay -> []
+
+let shrink_program (p : Ast.program) : Ast.program list =
+  List.concat
+    (List.mapi
+       (fun i f ->
+         List.map
+           (fun body ->
+             { p with
+               Ast.funcs =
+                 List.mapi
+                   (fun j g -> if i = j then { g with Ast.f_body = body }
+                     else g)
+                   p.Ast.funcs })
+           (shrink_block ~protect:[] f.Ast.f_body))
+       p.Ast.funcs)
+
+(* Greedy first-improvement descent: adopt the first one-edit reduction
+   [keep] accepts and restart from it; stop at a local minimum (or after
+   [max_steps] adopted edits, a safety bound). *)
+let shrink ?(max_steps = 400) ~keep (p : Ast.program) : Ast.program =
+  let rec go steps p =
+    if steps >= max_steps then p
+    else
+      match List.find_opt keep (shrink_program p) with
+      | Some p' -> go (steps + 1) p'
+      | None -> p
+  in
+  go 0 p

@@ -1,0 +1,41 @@
+(** Dialect-matrix program generator and shrinker.
+
+    [generate] builds a well-typed random program exercising exactly the
+    constructs a dialect's Table-1 feature row allows: [par] + channels
+    where the row has them, [delay]/[constrain] only where legal,
+    pointer walks and bounded recursion for the pointer-capable rows,
+    counting while-loops only where unbounded loops are accepted, and
+    plain bounded loop nests everywhere.  Programs are safe by
+    construction (masked shifts/offsets, guarded divisors, counting
+    loops, disjoint par-arm ownership, matched straight-line channel
+    traffic) so any cross-layer disagreement is a compiler bug, not a
+    generator artifact.
+
+    The entry point is always [f(int a, int b)]. *)
+
+val generate : Dialect.t -> seed:int -> index:int -> Ast.program
+(** Deterministic: the same [(dialect, seed, index)] triple always
+    yields the same program. *)
+
+val construct_keys : string list
+(** Census keys, in reporting order. *)
+
+val construct_counts : Ast.program -> (string * int) list
+(** How many of each gated construct the program contains — one entry
+    per {!construct_keys} key (zeros included), so metric streams are
+    stable across programs. *)
+
+val shrink_program : Ast.program -> Ast.program list
+(** All programs reachable by one reducing edit: drop a statement,
+    unwrap a control construct, sequence or drop a channel-free par
+    arm, zero a non-trivial expression.  Edits never remove a counting
+    loop's protected decrement and never unbalance channel traffic. *)
+
+val shrink :
+  ?max_steps:int -> keep:(Ast.program -> bool) -> Ast.program ->
+  Ast.program
+(** Greedy first-improvement descent over {!shrink_program}: repeatedly
+    adopt the first candidate [keep] accepts; returns a local minimum
+    ([keep]-preserving) after at most [max_steps] (default 400) adopted
+    edits.  [keep] must re-typecheck — candidates may reference dropped
+    declarations. *)

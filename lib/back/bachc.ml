@@ -26,21 +26,7 @@ let pipeline =
 
 let compile ?(resources = Schedule.default_allocation)
     (program : Ast.program) ~entry : Design.t =
-  let has_concurrency =
-    List.exists
-      (fun f ->
-        Ast.exists_stmt
-          (fun st ->
-            match st.Ast.s with
-            | Ast.Par _ | Ast.Chan_send _ -> true
-            | Ast.Expr _ | Ast.Decl _ | Ast.If _ | Ast.While _
-            | Ast.Do_while _ | Ast.For _ | Ast.Return _ | Ast.Break
-            | Ast.Continue | Ast.Block _ | Ast.Delay | Ast.Constrain _ ->
-              false)
-          f)
-      program.Ast.funcs
-  in
-  if has_concurrency then
+  if Handelc.uses_concurrency program then
     (* The concurrent subset runs on the statement machine with scheduled
        block timing; Handel_sim provides it. *)
     Handelc.compile_with_policy ~backend_name:"bachc" ~dialect

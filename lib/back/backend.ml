@@ -21,6 +21,17 @@ type descriptor = {
 
 exception No_c_frontend of string
 
+exception
+  Dialect_rejected of {
+    backend : string;
+    violations : Dialect.violation list;
+  }
+
+let reject_if_illegal ~backend dialect program =
+  match Dialect.check dialect program with
+  | [] -> ()
+  | violations -> raise (Dialect_rejected { backend; violations })
+
 let make ?(aliases = []) ?(capabilities = default_capabilities)
     ?(pipeline = None) ~name ~description ~dialect compile =
   { name; aliases; description; dialect; pipeline; compile; capabilities }

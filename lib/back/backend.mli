@@ -44,6 +44,21 @@ exception No_c_frontend of string
 (** Raised (with the backend name) by [compile] of a structural backend:
     there is no C source to compile — build designs directly (Ocapi). *)
 
+exception
+  Dialect_rejected of {
+    backend : string;
+    violations : Dialect.violation list;
+  }
+(** Raised by [compile] when the program breaks the backend dialect's
+    published restrictions.  Carries every violation (rule, enclosing
+    function, first offending location) so drivers report the rejection
+    as a dialect property of the program, never an internal error. *)
+
+val reject_if_illegal : backend:string -> Dialect.t -> Ast.program -> unit
+(** Run {!Dialect.check} and raise {!Dialect_rejected} on the first
+    non-empty result.  The single entry point every C-compiling backend
+    guards its [compile] with. *)
+
 val make :
   ?aliases:string list -> ?capabilities:capabilities ->
   ?pipeline:Passes.pipeline option -> name:string -> description:string ->

@@ -197,10 +197,7 @@ let run ?(max_cycles = 50_000_000) (compiled : C2verilog.compiled)
 let pipeline = Passes.pipeline "c2verilog" ~lowers:false
 
 let compile (program : Ast.program) ~entry : Design.t =
-  (match Dialect.check Dialect.c2verilog program with
-  | [] -> ()
-  | { Dialect.rule; where } :: _ ->
-    failwith (Printf.sprintf "c2verilog: %s (in %s)" rule where));
+  Backend.reject_if_illegal ~backend:"c2verilog" Dialect.c2verilog program;
   let program, pass_trace = Passes.run_program_passes pipeline program ~entry in
   let compiled = C2verilog.compile_program program ~entry in
   let verilog = lazy (C2v_verilog.to_string compiled ~name:entry) in

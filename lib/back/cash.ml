@@ -15,10 +15,7 @@ let dialect = Dialect.cash
 let pipeline = Passes.pipeline "cash"
 
 let compile ?timing ?handshake (program : Ast.program) ~entry : Design.t =
-  (match Dialect.check dialect program with
-  | [] -> ()
-  | { Dialect.rule; where } :: _ ->
-    failwith (Printf.sprintf "cash: %s (in %s)" rule where));
+  Backend.reject_if_illegal ~backend:"cash" dialect program;
   let lowered, pass_trace = Passes.run pipeline program ~entry in
   let ssa = Ssa.of_func lowered.Lower.func in
   (* SSA renaming grows the register file, and the token simulator

@@ -345,10 +345,7 @@ and exec_if st sel then_b else_b =
 (** Synthesize the entry function of [program] into a combinational
     netlist.  Scalar globals appear as outputs [g_<name>]. *)
 let synthesize (program : Ast.program) ~entry : Netlist.t =
-  (match Dialect.check Dialect.cones program with
-  | [] -> ()
-  | { Dialect.rule; where } :: _ ->
-    failwith (Printf.sprintf "cones: %s (in %s)" rule where));
+  Backend.reject_if_illegal ~backend:"cones" Dialect.cones program;
   let func =
     match Ast.find_func program entry with
     | Some f -> f

@@ -42,10 +42,7 @@ let build ~backend_name ~dialect ?(mem_forwarding = false) ?pipeline
     ~(schedule_block : Cir.func -> Cir.block -> Schedule.schedule)
     ?(extra_stats = fun (_ : Lower.result) (_ : Fsmd.t) -> [])
     (program : Ast.program) ~entry : Design.t =
-  (match Dialect.check dialect program with
-  | [] -> ()
-  | { Dialect.rule; where } :: _ ->
-    failwith (Printf.sprintf "%s: %s (in %s)" backend_name rule where));
+  Backend.reject_if_illegal ~backend:backend_name dialect program;
   let pipeline =
     match pipeline with
     | Some p -> p

@@ -572,13 +572,35 @@ let estimate_area (program : Ast.program) =
 
 (* --- Design wrappers --------------------------------------------------- *)
 
+(* Whether any function uses par arms or channel rendezvous — the
+   constructs only the statement machine executes.  Every backend whose
+   dialect allows them (Bach C, SpecC, SystemC, HardwareC) consults this
+   to decide between its scheduled-FSMD path and the machine here. *)
+let uses_concurrency (program : Ast.program) =
+  List.exists
+    (fun f ->
+      Ast.exists_stmt
+        (fun st ->
+          match st.Ast.s with
+          | Ast.Par _ | Ast.Chan_send _ -> true
+          | Ast.Expr _ | Ast.Decl _ | Ast.If _ | Ast.While _ | Ast.Do_while _
+          | Ast.For _ | Ast.Return _ | Ast.Break | Ast.Continue
+          | Ast.Block _ | Ast.Delay | Ast.Constrain _ -> false)
+        f
+      || Ast.exists_expr
+           (fun e ->
+             match e.Ast.e with
+             | Ast.Chan_recv _ -> true
+             | Ast.Const _ | Ast.Var _ | Ast.Unop _ | Ast.Binop _
+             | Ast.Assign _ | Ast.Cond _ | Ast.Call _ | Ast.Index _
+             | Ast.Deref _ | Ast.Addr_of _ | Ast.Cast _ -> false)
+           f)
+    program.Ast.funcs
+
 let compile_with_policy ~backend_name ~dialect ~policy
     ?(program_passes : Passes.program_pass list = [])
     (program : Ast.program) ~entry : Design.t =
-  (match Dialect.check dialect program with
-  | [] -> ()
-  | { Dialect.rule; where } :: _ ->
-    failwith (Printf.sprintf "%s: %s (in %s)" backend_name rule where));
+  Backend.reject_if_illegal ~backend:backend_name dialect program;
   let policy =
     match policy with
     | `One_per_assignment -> `One_cycle_per_assignment

@@ -37,6 +37,12 @@ val estimate_clock_period : Ast.program -> float
 val estimate_area : Ast.program -> float
 (** Dedicated hardware per static assignment plus variable registers. *)
 
+val uses_concurrency : Ast.program -> bool
+(** Any [par] arm or channel operation anywhere in the program — the
+    constructs only the statement machine executes.  Backends whose
+    dialect allows them route such programs here instead of their
+    scheduled-FSMD path. *)
+
 val compile_with_policy :
   backend_name:string -> dialect:Dialect.t ->
   policy:[ `One_per_assignment | `Scheduled ] ->

@@ -30,10 +30,19 @@ type report = {
 
 let compile ?(resources = Schedule.default_allocation)
     (program : Ast.program) ~entry : Design.t * report =
-  (match Dialect.check dialect program with
-  | [] -> ()
-  | { Dialect.rule; where } :: _ ->
-    failwith (Printf.sprintf "hardwarec: %s (in %s)" rule where));
+  Backend.reject_if_illegal ~backend:"hardwarec" dialect program;
+  if Handelc.uses_concurrency program then
+    (* HardwareC's process-level parallelism and message passing run on
+       the statement machine; the allocation lattice and constraint
+       exploration only apply to the scheduled sequential path, so the
+       report is empty.  [constrain] blocks execute their body (the
+       machine has no schedule to check them against). *)
+    ( Handelc.compile_with_policy ~backend_name:"hardwarec" ~dialect
+        ~policy:`Scheduled program ~entry,
+      { statuses = [];
+        exploration = [];
+        chosen_allocation = "statement machine (concurrent)" } )
+  else
   let lowered, pass_trace = Passes.run pipeline program ~entry in
   let func = lowered.Lower.func in
   let constraints = Constrain.of_lowering lowered.Lower.constraints in

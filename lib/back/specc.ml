@@ -49,26 +49,10 @@ let pipeline =
     ~program_passes:[ Conc_check.pass Dialect.specc ]
     ~func_passes:[ Passes.simplify_pass ]
 
-let uses_concurrency (program : Ast.program) =
-  List.exists
-    (fun f ->
-      Ast.exists_stmt
-        (fun st ->
-          match st.Ast.s with
-          | Ast.Par _ | Ast.Chan_send _ -> true
-          | Ast.Expr _ | Ast.Decl _ | Ast.If _ | Ast.While _ | Ast.Do_while _
-          | Ast.For _ | Ast.Return _ | Ast.Break | Ast.Continue
-          | Ast.Block _ | Ast.Delay | Ast.Constrain _ -> false)
-        f)
-    program.Ast.funcs
-
 (** Run the refinement flow, checking equivalence at every level on each
     of [test_vectors]. *)
 let refine (program : Ast.program) ~entry ~test_vectors : Design.t * report =
-  (match Dialect.check dialect program with
-  | [] -> ()
-  | { Dialect.rule; where } :: _ ->
-    failwith (Printf.sprintf "specc: %s (in %s)" rule where));
+  Backend.reject_if_illegal ~backend:"specc" dialect program;
   let spec_result vector =
     let outcome =
       Interp.run program ~entry
@@ -89,7 +73,7 @@ let refine (program : Ast.program) ~entry ~test_vectors : Design.t * report =
       let r = spec_result v in
       record Specification v r r None)
     test_vectors;
-  let concurrent = uses_concurrency program in
+  let concurrent = Handelc.uses_concurrency program in
   (* Level 2: architecture — scheduled design *)
   let arch_design =
     if concurrent then

@@ -215,10 +215,15 @@ let pipeline = Passes.pipeline "systemc" ~func_passes:[ Passes.simplify_pass ]
     FSMD as a clock-edge-triggered process network. *)
 let compile ?(resources = Schedule.default_allocation)
     (program : Ast.program) ~entry : Design.t =
-  (match Dialect.check Dialect.systemc program with
-  | [] -> ()
-  | { Dialect.rule; where } :: _ ->
-    failwith (Printf.sprintf "systemc: %s (in %s)" rule where));
+  Backend.reject_if_illegal ~backend:"systemc" Dialect.systemc program;
+  if Handelc.uses_concurrency program then
+    (* Process-level par/channels are not representable in the
+       sequential CIR lowering; SystemC's process network semantics run
+       on the statement machine with compiler-packed cycles, like the
+       other concurrent dialects. *)
+    Handelc.compile_with_policy ~backend_name:"systemc"
+      ~dialect:Dialect.systemc ~policy:`Scheduled program ~entry
+  else
   let lowered, pass_trace = Passes.run pipeline program ~entry in
   let func = lowered.Lower.func in
   let fsmd =

@@ -41,8 +41,13 @@ let render_error ?file = function
                     with the Ocapi module" backend
   | Dialect_reject { backend; violations } -> (
     match violations with
-    | { Dialect.rule; where } :: _ ->
-      Printf.sprintf "%s: dialect rejects: %s (in %s)" backend rule where
+    | { Dialect.rule; where; vloc } :: _ ->
+      let at = render_loc ?file vloc in
+      if at = "" then
+        Printf.sprintf "%s: dialect rejects: %s (in %s)" backend rule where
+      else
+        Printf.sprintf "%s: dialect rejects: %s (in %s, at %s)" backend rule
+          where at
     | [] -> Printf.sprintf "%s: dialect rejects" backend)
   | Backend_error { backend; message; loc } ->
     let where = render_loc ?file loc in
@@ -266,6 +271,20 @@ let compile ?(ctx = Span.null) t backend =
               Ok design
             | exception Backend.No_c_frontend b ->
               Error (No_c_frontend { backend = b })
+            | exception Backend.Dialect_rejected { backend; violations } ->
+              (* a backend entered through a side door (another backend's
+                 fallback, a stricter embedded check) still reports a
+                 dialect property, not an internal failure *)
+              Error (Dialect_reject { backend; violations })
+            | exception Ssa.Timeout { func_name; max_steps } ->
+              Error
+                (Backend_error
+                   { backend = name;
+                     message =
+                       Printf.sprintf
+                         "ssa evaluation timed out in %s after %d steps"
+                         func_name max_steps;
+                     loc = Ast.no_loc })
             | exception Lower.Error (message, loc) ->
               Error (Backend_error { backend = name; message; loc })
             | exception Conc_check.Check_failed ds ->

@@ -398,17 +398,303 @@ let transpose =
       }
       |} }
 
+(* --- Classic kernel ports (ADPCM, AES, DSP, sorts, checksums) --------- *)
+
+let adpcm =
+  { name = "adpcm";
+    entry = "adpcm";
+    category = Regular_loop;
+    description = "IMA-style ADPCM predictor step over 8 samples";
+    arg_sets = [ [ 0; 3 ]; [ 100; -7 ]; [ 512; 64 ] ];
+    source =
+      {|
+      int steps[16] = {7, 8, 9, 10, 11, 12, 13, 14,
+                       16, 17, 19, 21, 23, 25, 28, 31};
+      int adpcm(int x0, int dx) {
+        int predicted = 0;
+        int index = 0;
+        int out = 0;
+        for (int i = 0; i < 8; i = i + 1) {
+          int sample = x0 + i * dx;
+          int diff = sample - predicted;
+          int sign = 0;
+          if (diff < 0) { sign = 8; diff = -diff; }
+          int step = steps[index];
+          int delta = 0;
+          if (diff >= step) { delta = 4; diff = diff - step; }
+          if (diff >= step / 2) { delta = delta + 2; diff = diff - step / 2; }
+          if (diff >= step / 4) { delta = delta + 1; }
+          int vpdiff = step / 8;
+          if ((delta & 4) != 0) { vpdiff = vpdiff + step; }
+          if ((delta & 2) != 0) { vpdiff = vpdiff + step / 2; }
+          if ((delta & 1) != 0) { vpdiff = vpdiff + step / 4; }
+          if (sign != 0) { predicted = predicted - vpdiff; }
+          else { predicted = predicted + vpdiff; }
+          if (delta >= 4) { index = index + 2; }
+          else { index = index - 1; }
+          if (index < 0) { index = 0; }
+          if (index > 15) { index = 15; }
+          out = out * 17 + sign + delta;
+        }
+        return out;
+      }
+      |} }
+
+let aes_sbox =
+  { name = "aes_sbox";
+    entry = "aes_sbox";
+    category = Bit_twiddling;
+    description = "AES S-box of one byte: GF(2^8) inverse by square-and-\
+                   multiply plus the affine transform";
+    arg_sets = [ [ 0 ]; [ 1 ]; [ 83 ]; [ 255 ] ];
+    source =
+      {|
+      int aes_sbox(int input) {
+        int x = input & 255;
+        int inv = 0;
+        if (x != 0) {
+          /* inv = x^254 in GF(2^8) mod x^8+x^4+x^3+x+1 (0x11B) */
+          int acc = 1;
+          int base = x;
+          int e = 254;
+          for (int i = 0; i < 8; i = i + 1) {
+            if ((e & 1) != 0) {
+              int a = acc;
+              int b = base;
+              int p = 0;
+              for (int k = 0; k < 8; k = k + 1) {
+                if ((b & 1) != 0) { p = p ^ a; }
+                int hi = a & 128;
+                a = (a * 2) & 255;
+                if (hi != 0) { a = a ^ 27; }
+                b = b / 2;
+              }
+              acc = p;
+            }
+            int a2 = base;
+            int b2 = base;
+            int p2 = 0;
+            for (int k = 0; k < 8; k = k + 1) {
+              if ((b2 & 1) != 0) { p2 = p2 ^ a2; }
+              int hi2 = a2 & 128;
+              a2 = (a2 * 2) & 255;
+              if (hi2 != 0) { a2 = a2 ^ 27; }
+              b2 = b2 / 2;
+            }
+            base = p2;
+            e = e / 2;
+          }
+          inv = acc;
+        }
+        /* affine: s = inv ^ rotl1 ^ rotl2 ^ rotl3 ^ rotl4 ^ 0x63 */
+        int s = inv;
+        int r = inv;
+        for (int i = 0; i < 4; i = i + 1) {
+          r = ((r * 2) & 255) + (r / 128);
+          s = s ^ r;
+        }
+        return s ^ 99;
+      }
+      |} }
+
+let iir =
+  { name = "iir";
+    entry = "iir";
+    category = Regular_loop;
+    description = "direct-form-I biquad IIR in Q8 fixed point, 16 samples";
+    arg_sets = [ [ 16; 4 ]; [ 0; 0 ]; [ 200; -16 ] ];
+    source =
+      {|
+      int iir(int x0, int step) {
+        int x1 = 0;
+        int x2 = 0;
+        int y1 = 0;
+        int y2 = 0;
+        int acc = 0;
+        for (int i = 0; i < 16; i = i + 1) {
+          int x = x0 + i * step;
+          int y = (64 * x + 128 * x1 + 64 * x2 + 32 * y1 - 16 * y2) / 256;
+          x2 = x1;
+          x1 = x;
+          y2 = y1;
+          y1 = y;
+          acc = acc * 3 + y;
+        }
+        return acc;
+      }
+      |} }
+
+let insertion_sort =
+  { name = "insertion_sort";
+    entry = "isort";
+    category = Irregular;
+    description = "insertion sort of 10 elements; data-dependent shifts";
+    arg_sets = [ [ 3 ]; [ 11 ]; [ -5 ] ];
+    source =
+      {|
+      int data[10];
+      int isort(int seed) {
+        for (int i = 0; i < 10; i = i + 1) {
+          data[i] = (seed * (7 - i) * 131) % 50;
+        }
+        for (int i = 1; i < 10; i = i + 1) {
+          int key = data[i];
+          int j = i - 1;
+          while (j >= 0 && data[j] > key) {
+            data[j + 1] = data[j];
+            j = j - 1;
+          }
+          data[j + 1] = key;
+        }
+        int acc = 0;
+        for (int i = 0; i < 10; i = i + 1) { acc = acc * 5 + data[i]; }
+        return acc;
+      }
+      |} }
+
+let odd_even_sort =
+  { name = "odd_even_sort";
+    entry = "oesort";
+    category = Regular_loop;
+    description = "odd-even transposition sort of 8 elements; statically \
+                   bounded compare-and-swap network";
+    arg_sets = [ [ 6 ]; [ 1 ]; [ -9 ] ];
+    source =
+      {|
+      int arr[8];
+      int oesort(int seed) {
+        for (int i = 0; i < 8; i = i + 1) {
+          arr[i] = (seed * (i + 1) * 37) % 64;
+        }
+        for (int phase = 0; phase < 8; phase = phase + 1) {
+          for (int i = 0; i < 4; i = i + 1) {
+            int j = i * 2 + (phase & 1);
+            if (j < 7) {
+              if (arr[j] > arr[j + 1]) {
+                int t = arr[j];
+                arr[j] = arr[j + 1];
+                arr[j + 1] = t;
+              }
+            }
+          }
+        }
+        int acc = 0;
+        for (int i = 0; i < 8; i = i + 1) { acc = acc * 9 + arr[i]; }
+        return acc;
+      }
+      |} }
+
+let crc32 =
+  { name = "crc32";
+    entry = "crc32";
+    category = Bit_twiddling;
+    description = "bit-serial CRC-32 (reflected 0xEDB88320) of one word";
+    arg_sets = [ [ 0 ]; [ 0x12345678 ]; [ -1 ] ];
+    source =
+      {|
+      int crc32(int input) {
+        unsigned int crc = 0xFFFFFFFFu;
+        unsigned int data = (unsigned int)input;
+        for (int i = 0; i < 32; i = i + 1) {
+          unsigned int bit = (crc ^ data) & 1u;
+          crc = crc >> 1;
+          if (bit != 0u) { crc = crc ^ 0xEDB88320u; }
+          data = data >> 1;
+        }
+        return (int)(crc ^ 0xFFFFFFFFu);
+      }
+      |} }
+
+let adler32 =
+  { name = "adler32";
+    entry = "adler32";
+    category = Regular_loop;
+    description = "Adler-32 over 16 synthesized bytes; two mod-65521 sums";
+    arg_sets = [ [ 1 ]; [ 77 ]; [ -4 ] ];
+    source =
+      {|
+      int adler32(int seed) {
+        int a = 1;
+        int b = 0;
+        for (int i = 0; i < 16; i = i + 1) {
+          int byte = (seed * (i + 1) * 31) & 255;
+          a = (a + byte) % 65521;
+          b = (b + a) % 65521;
+        }
+        return b * 65536 + a;
+      }
+      |} }
+
+let adler32_par =
+  { name = "adler32_par";
+    entry = "run";
+    category = Concurrent;
+    description = "Adler-32 as a two-process pipeline: byte producer and \
+                   mod-sum consumer over a rendezvous channel";
+    arg_sets = [ [ 1 ]; [ 77 ] ];
+    source =
+      {|
+      chan int c;
+      int run(int seed) {
+        int a = 1;
+        int b = 0;
+        par {
+          {
+            for (int i = 0; i < 16; i = i + 1) {
+              send(c, (seed * (i + 1) * 31) & 255);
+            }
+          }
+          {
+            for (int i = 0; i < 16; i = i + 1) {
+              int byte = recv(c);
+              a = (a + byte) % 65521;
+              b = (b + a) % 65521;
+            }
+          }
+        }
+        return b * 65536 + a;
+      }
+      |} }
+
+let fir_ptr =
+  { name = "fir_ptr";
+    entry = "run";
+    category = Thorny_c;
+    description = "the FIR kernel walked through pointers; C2Verilog's \
+                   pointer-analysis territory";
+    arg_sets = [ [ 1; 2 ]; [ 5; -3 ] ];
+    source =
+      {|
+      int coeff[8] = {1, -2, 3, -4, 5, -6, 7, -8};
+      int window[8];
+      int run(int x0, int step) {
+        int* w = window;
+        for (int i = 0; i < 8; i = i + 1) {
+          *(w + i) = x0 + i * step;
+        }
+        int* cp = coeff;
+        int acc = 0;
+        for (int i = 0; i < 8; i = i + 1) {
+          acc = acc + *(cp + i) * w[i];
+        }
+        return acc;
+      }
+      |} }
+
 (** Workloads every sequential backend accepts. *)
 let sequential =
   [ gcd; fib; fir; dotprod; matmul; bsort; crc; popcount; checksum;
-    histogram; isqrt_newton; transpose ]
+    histogram; isqrt_newton; transpose; adpcm; aes_sbox; iir;
+    insertion_sort; odd_even_sort; crc32; adler32 ]
 
 (** Bounded-loop, pointer-free subset Cones accepts (no while loops, no
     data-dependent trip counts — bsort's triangular inner loop is out). *)
-let combinational = [ fir; dotprod; matmul; crc; checksum ]
+let combinational =
+  [ fir; dotprod; matmul; crc; checksum; adpcm; aes_sbox; iir;
+    odd_even_sort; crc32; adler32 ]
 
-let concurrent = [ producer_consumer ]
-let thorny = [ pointer_sum; recursion; dynamic_list ]
+let concurrent = [ producer_consumer; adler32_par ]
+let thorny = [ pointer_sum; recursion; dynamic_list; fir_ptr ]
 let all = sequential @ concurrent @ thorny
 
 let find name = List.find_opt (fun w -> String.equal w.name name) all

@@ -35,6 +35,7 @@ type t = {
   allows_channels : bool;
   allows_par : bool;
   allows_constrain : bool;
+  allows_delay : bool; (* Handel-C style explicit one-cycle delay *)
   backend : string; (* chls backend module that implements the scheme *)
 }
 
@@ -44,7 +45,7 @@ let cones =
     concurrency = Sequential; timing = Combinational;
     allows_pointers = false; allows_recursion = false;
     allows_unbounded_loops = false; allows_channels = false;
-    allows_par = false; allows_constrain = false; backend = "cones" }
+    allows_par = false; allows_constrain = false; allows_delay = false; backend = "cones" }
 
 let hardwarec =
   { name = "HardwareC"; citation = "[12]"; year = 1990; origin = "Stanford";
@@ -52,7 +53,7 @@ let hardwarec =
     concurrency = Process_level; timing = Constraint_based;
     allows_pointers = false; allows_recursion = false;
     allows_unbounded_loops = true; allows_channels = true; allows_par = true;
-    allows_constrain = true; backend = "hardwarec" }
+    allows_constrain = true; allows_delay = false; backend = "hardwarec" }
 
 let transmogrifier =
   { name = "Transmogrifier C"; citation = "[8]"; year = 1995;
@@ -61,7 +62,7 @@ let transmogrifier =
     timing = Implicit_rule "cycle at loop iterations and function calls";
     allows_pointers = false; allows_recursion = false;
     allows_unbounded_loops = true; allows_channels = false;
-    allows_par = false; allows_constrain = false;
+    allows_par = false; allows_constrain = false; allows_delay = false;
     backend = "transmogrifier" }
 
 let systemc =
@@ -70,7 +71,7 @@ let systemc =
     timing = Explicit_cycles "wait() calls in sequential processes";
     allows_pointers = false; allows_recursion = false;
     allows_unbounded_loops = true; allows_channels = true; allows_par = true;
-    allows_constrain = false; backend = "systemc" }
+    allows_constrain = false; allows_delay = true; backend = "systemc" }
 
 let ocapi =
   { name = "Ocapi"; citation = "[19]"; year = 1998; origin = "IMEC";
@@ -79,7 +80,7 @@ let ocapi =
     timing = Explicit_cycles "one cycle per FSM state";
     allows_pointers = false; allows_recursion = false;
     allows_unbounded_loops = true; allows_channels = false;
-    allows_par = true; allows_constrain = false; backend = "ocapi" }
+    allows_par = true; allows_constrain = false; allows_delay = false; backend = "ocapi" }
 
 let c2verilog =
   { name = "C2Verilog"; citation = "[21]"; year = 1998;
@@ -89,7 +90,7 @@ let c2verilog =
     timing = Implicit_rule "compiler-inserted cycles, external constraints";
     allows_pointers = true; allows_recursion = true;
     allows_unbounded_loops = true; allows_channels = false;
-    allows_par = false; allows_constrain = false; backend = "c2verilog" }
+    allows_par = false; allows_constrain = false; allows_delay = false; backend = "c2verilog" }
 
 let cyber =
   { name = "Cyber (BDL)"; citation = "[24]"; year = 1999; origin = "NEC";
@@ -98,7 +99,7 @@ let cyber =
     timing = Implicit_rule "implicit or explicit timing";
     allows_pointers = false; allows_recursion = false;
     allows_unbounded_loops = true; allows_channels = true; allows_par = true;
-    allows_constrain = false; backend = "cyber" }
+    allows_constrain = false; allows_delay = false; backend = "cyber" }
 
 let handelc =
   { name = "Handel-C"; citation = "[2]"; year = 1996; origin = "Celoxica";
@@ -107,7 +108,7 @@ let handelc =
     timing = Implicit_rule "each assignment/delay takes one cycle";
     allows_pointers = false; allows_recursion = false;
     allows_unbounded_loops = true; allows_channels = true; allows_par = true;
-    allows_constrain = false; backend = "handelc" }
+    allows_constrain = false; allows_delay = true; backend = "handelc" }
 
 let specc =
   { name = "SpecC"; citation = "[7]"; year = 2000; origin = "UC Irvine";
@@ -116,7 +117,7 @@ let specc =
     timing = Explicit_cycles "refined from untimed to cycle-accurate";
     allows_pointers = false; allows_recursion = false;
     allows_unbounded_loops = true; allows_channels = true; allows_par = true;
-    allows_constrain = false; backend = "specc" }
+    allows_constrain = false; allows_delay = true; backend = "specc" }
 
 let bachc =
   { name = "Bach C"; citation = "[10]"; year = 2001; origin = "Sharp";
@@ -124,7 +125,7 @@ let bachc =
     concurrency = Statement_level; timing = Constraint_based;
     allows_pointers = false; allows_recursion = false;
     allows_unbounded_loops = true; allows_channels = true; allows_par = true;
-    allows_constrain = false; backend = "bachc" }
+    allows_constrain = false; allows_delay = false; backend = "bachc" }
 
 let cash =
   { name = "CASH"; citation = "[1]"; year = 2002; origin = "CMU";
@@ -132,7 +133,7 @@ let cash =
     concurrency = Sequential; timing = Asynchronous;
     allows_pointers = false; allows_recursion = false;
     allows_unbounded_loops = true; allows_channels = false;
-    allows_par = false; allows_constrain = false; backend = "cash" }
+    allows_par = false; allows_constrain = false; allows_delay = false; backend = "cash" }
 
 (** All dialects in the chronological order of the paper's Table 1. *)
 let table1 =
@@ -158,7 +159,9 @@ let string_of_timing = function
 
 (* --- legality checking --- *)
 
-type violation = { rule : string; where : string }
+type violation = { rule : string; where : string; vloc : Ast.loc }
+(* [vloc] pins the offending statement or expression when the checker
+   saw one ([Ast.no_loc] for program-level rules like recursion). *)
 
 let pointer_expr (e : Ast.expr) =
   match e.e with
@@ -214,50 +217,74 @@ let recursive_functions (p : Ast.program) =
 
 (** Check a (type-checked) program against a dialect's restrictions.
     Returns the list of violations; empty means the program is legal. *)
+(* First statement/expression of [f] satisfying [pred], so a violation
+   can carry the offending location rather than just the function name. *)
+let first_stmt pred f =
+  let found = ref None in
+  Ast.iter_func
+    ~stmt:(fun s -> if !found = None && pred s then found := Some s)
+    ~expr:(fun _ -> ())
+    f;
+  !found
+
+let first_expr pred f =
+  let found = ref None in
+  Ast.iter_func
+    ~stmt:(fun _ -> ())
+    ~expr:(fun e -> if !found = None && pred e then found := Some e)
+    f;
+  !found
+
 let check dialect (p : Ast.program) : violation list =
   let violations = ref [] in
-  let add rule where = violations := { rule; where } :: !violations in
+  let add ?(loc = Ast.no_loc) rule where =
+    violations := { rule; where; vloc = loc } :: !violations
+  in
   let check_func (f : Ast.func) =
     let where = f.Ast.f_name in
+    (* one violation per (rule, function), located at the first offender *)
+    let stmt_rule pred rule =
+      match first_stmt pred f with
+      | Some st -> add ~loc:st.Ast.sloc rule where
+      | None -> ()
+    in
     if not dialect.allows_pointers then begin
-      if Ast.exists_expr pointer_expr f then
-        add (dialect.name ^ " forbids pointer operations") where;
-      Ast.iter_func
-        ~stmt:(fun st ->
+      (match first_expr pointer_expr f with
+      | Some e ->
+        add ~loc:e.Ast.eloc (dialect.name ^ " forbids pointer operations")
+          where
+      | None -> ());
+      stmt_rule
+        (fun st ->
           match st.Ast.s with
-          | Ast.Decl (ty, _, _) when uses_pointer_type ty ->
-            add (dialect.name ^ " forbids pointer-typed variables") where
-          | Ast.Decl _ | Ast.Expr _ | Ast.If _ | Ast.While _ | Ast.Do_while _
+          | Ast.Decl (ty, _, _) -> uses_pointer_type ty
+          | Ast.Expr _ | Ast.If _ | Ast.While _ | Ast.Do_while _
           | Ast.For _ | Ast.Return _ | Ast.Break | Ast.Continue | Ast.Block _
-          | Ast.Par _ | Ast.Chan_send _ | Ast.Delay | Ast.Constrain _ -> ())
-        ~expr:(fun _ -> ())
-        f
+          | Ast.Par _ | Ast.Chan_send _ | Ast.Delay | Ast.Constrain _ ->
+            false)
+        (dialect.name ^ " forbids pointer-typed variables")
     end;
-    if not dialect.allows_unbounded_loops then begin
-      let is_unbounded (st : Ast.stmt) =
-        match st.Ast.s with
-        | Ast.While _ | Ast.Do_while _ -> true
-        | Ast.For (init, cond, step, _) ->
-          (* Bounded form: for (int i = c0; i <relop> c1; i = i +/- c2) *)
-          not (Loopform.is_statically_bounded ~init ~cond ~step)
-        | Ast.Expr _ | Ast.Decl _ | Ast.If _ | Ast.Return _ | Ast.Break
-        | Ast.Continue | Ast.Block _ | Ast.Par _ | Ast.Chan_send _
-        | Ast.Delay | Ast.Constrain _ -> false
-      in
-      if Ast.exists_stmt is_unbounded f then
-        add (dialect.name ^ " requires statically bounded loops") where
-    end;
-    if not dialect.allows_par then begin
-      let is_par (st : Ast.stmt) =
-        match st.Ast.s with
-        | Ast.Par _ -> true
-        | Ast.Expr _ | Ast.Decl _ | Ast.If _ | Ast.While _ | Ast.Do_while _
-        | Ast.For _ | Ast.Return _ | Ast.Break | Ast.Continue | Ast.Block _
-        | Ast.Chan_send _ | Ast.Delay | Ast.Constrain _ -> false
-      in
-      if Ast.exists_stmt is_par f then
-        add (dialect.name ^ " has no parallel construct") where
-    end;
+    if not dialect.allows_unbounded_loops then
+      stmt_rule
+        (fun st ->
+          match st.Ast.s with
+          | Ast.While _ | Ast.Do_while _ -> true
+          | Ast.For (init, cond, step, _) ->
+            (* Bounded form: for (int i = c0; i <relop> c1; i = i +/- c2) *)
+            not (Loopform.is_statically_bounded ~init ~cond ~step)
+          | Ast.Expr _ | Ast.Decl _ | Ast.If _ | Ast.Return _ | Ast.Break
+          | Ast.Continue | Ast.Block _ | Ast.Par _ | Ast.Chan_send _
+          | Ast.Delay | Ast.Constrain _ -> false)
+        (dialect.name ^ " requires statically bounded loops");
+    if not dialect.allows_par then
+      stmt_rule
+        (fun st ->
+          match st.Ast.s with
+          | Ast.Par _ -> true
+          | Ast.Expr _ | Ast.Decl _ | Ast.If _ | Ast.While _ | Ast.Do_while _
+          | Ast.For _ | Ast.Return _ | Ast.Break | Ast.Continue | Ast.Block _
+          | Ast.Chan_send _ | Ast.Delay | Ast.Constrain _ -> false)
+        (dialect.name ^ " has no parallel construct");
     if not dialect.allows_channels then begin
       let uses_chan_stmt (st : Ast.stmt) =
         match st.Ast.s with
@@ -272,20 +299,31 @@ let check dialect (p : Ast.program) : violation list =
         | Ast.Cond _ | Ast.Call _ | Ast.Index _ | Ast.Deref _ | Ast.Addr_of _
         | Ast.Cast _ -> false
       in
-      if Ast.exists_stmt uses_chan_stmt f || Ast.exists_expr uses_chan_expr f
-      then add (dialect.name ^ " has no channels") where
+      match (first_stmt uses_chan_stmt f, first_expr uses_chan_expr f) with
+      | Some st, _ ->
+        add ~loc:st.Ast.sloc (dialect.name ^ " has no channels") where
+      | None, Some e ->
+        add ~loc:e.Ast.eloc (dialect.name ^ " has no channels") where
+      | None, None -> ()
     end;
-    if not dialect.allows_constrain then begin
-      let is_constrain (st : Ast.stmt) =
-        match st.Ast.s with
-        | Ast.Constrain _ -> true
-        | Ast.Expr _ | Ast.Decl _ | Ast.If _ | Ast.While _ | Ast.Do_while _
-        | Ast.For _ | Ast.Return _ | Ast.Break | Ast.Continue | Ast.Block _
-        | Ast.Par _ | Ast.Chan_send _ | Ast.Delay -> false
-      in
-      if Ast.exists_stmt is_constrain f then
-        add (dialect.name ^ " has no timing constraints") where
-    end
+    if not dialect.allows_constrain then
+      stmt_rule
+        (fun st ->
+          match st.Ast.s with
+          | Ast.Constrain _ -> true
+          | Ast.Expr _ | Ast.Decl _ | Ast.If _ | Ast.While _ | Ast.Do_while _
+          | Ast.For _ | Ast.Return _ | Ast.Break | Ast.Continue | Ast.Block _
+          | Ast.Par _ | Ast.Chan_send _ | Ast.Delay -> false)
+        (dialect.name ^ " has no timing constraints");
+    if not dialect.allows_delay then
+      stmt_rule
+        (fun st ->
+          match st.Ast.s with
+          | Ast.Delay -> true
+          | Ast.Expr _ | Ast.Decl _ | Ast.If _ | Ast.While _ | Ast.Do_while _
+          | Ast.For _ | Ast.Return _ | Ast.Break | Ast.Continue | Ast.Block _
+          | Ast.Par _ | Ast.Chan_send _ | Ast.Constrain _ -> false)
+        (dialect.name ^ " has no delay statement")
   in
   List.iter check_func p.funcs;
   if not dialect.allows_pointers then

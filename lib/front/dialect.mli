@@ -31,6 +31,7 @@ type t = {
   allows_channels : bool;
   allows_par : bool;
   allows_constrain : bool;
+  allows_delay : bool;
   backend : string;  (** chls backend implementing the scheme *)
 }
 
@@ -55,7 +56,11 @@ val find : string -> t option
 val string_of_concurrency : concurrency -> string
 val string_of_timing : timing -> string
 
-type violation = { rule : string; where : string }
+type violation = { rule : string; where : string; vloc : Ast.loc }
+(** A broken dialect rule: [rule] names the restriction, [where] the
+    enclosing function (or global), and [vloc] the first offending
+    statement or expression ([Ast.no_loc] for program-level rules such
+    as recursion). *)
 
 val recursive_functions : Ast.program -> string list
 (** Functions involved in direct or mutual recursion. *)

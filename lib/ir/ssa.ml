@@ -287,6 +287,8 @@ let verify t =
     t.func.Cir.fn_blocks;
   List.rev !violations
 
+exception Timeout of { func_name : string; max_steps : int }
+
 (** Execute the SSA form (phis evaluated with the incoming edge), used to
     check semantic preservation in tests. *)
 let run ?(max_steps = 10_000_000) t ~args =
@@ -315,7 +317,8 @@ let run ?(max_steps = 10_000_000) t ~args =
   let steps = ref 0 in
   let rec run_block ~came_from b =
     incr steps;
-    if !steps > max_steps then failwith "Ssa.run: timeout";
+    if !steps > max_steps then
+      raise (Timeout { func_name = func.Cir.fn_name; max_steps });
     (* phis evaluate in parallel on entry *)
     let phi_values =
       List.map

@@ -27,6 +27,11 @@ val of_func : Cir.func -> t
 val verify : t -> Cir.reg list
 (** Registers violating single assignment (empty = valid). *)
 
+exception Timeout of { func_name : string; max_steps : int }
+(** [run] exceeded its step budget — the function name and the budget
+    ride along so drivers can report which evaluation diverged. *)
+
 val run : ?max_steps:int -> t -> args:Bitvec.t list -> Bitvec.t option
 (** Execute the SSA form (phis take the incoming-edge value); used to
-    check semantic preservation. *)
+    check semantic preservation.  Raises {!Timeout} past [max_steps]
+    block entries (default 10M). *)

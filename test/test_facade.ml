@@ -90,7 +90,10 @@ let test_table1_rendering () =
 let test_compile_rejects_wrong_dialect () =
   let ptr = (Workloads.pointer_sum).Workloads.source in
   match Chls.compile (Registry.get "bachc") ptr ~entry:"run" with
-  | exception Failure _ -> ()
+  | exception Backend.Dialect_rejected { backend = "bachc"; violations } ->
+    Alcotest.(check bool) "violation names the rule" true (violations <> [])
+  | exception Backend.Dialect_rejected { backend; _ } ->
+    Alcotest.failf "rejection blamed on %s, not bachc" backend
   | _ -> Alcotest.fail "bachc must reject pointers at compile"
 
 let suite =

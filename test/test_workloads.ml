@@ -28,7 +28,31 @@ let pinned =
     ("producer_consumer", [ 4 ], 112);
     ("pointer_sum", [ 5 ], 335);
     ("recursion", [ 6 ], 2108);
-    ("dynamic_list", [ 5 ], 30) ]
+    ("dynamic_list", [ 5 ], 30);
+    ("adpcm", [ 0; 3 ], 51292334);
+    ("adpcm", [ 100; -7 ], -1243107158);
+    (* known S-box rows: S[0]=0x63 S[1]=0x7c S[0x53]=0xed S[0xff]=0x16 *)
+    ("aes_sbox", [ 0 ], 0x63);
+    ("aes_sbox", [ 1 ], 0x7c);
+    ("aes_sbox", [ 83 ], 0xed);
+    ("aes_sbox", [ 255 ], 0x16);
+    ("iir", [ 16; 4 ], 174668008);
+    ("iir", [ 0; 0 ], 0);
+    ("insertion_sort", [ 3 ], -97993177);
+    ("insertion_sort", [ 11 ], -92436699);
+    ("odd_even_sort", [ 1 ], 21071820);
+    ("odd_even_sort", [ 6 ], 99557016);
+    (* CRC-32 of four zero bytes is the standard 0x2144DF1C *)
+    ("crc32", [ 0 ], 0x2144DF1C);
+    ("crc32", [ 0x12345678 ], -1351776302);
+    ("adler32", [ 1 ], 1054869625);
+    ("adler32", [ 77 ], 1335888153);
+    (* the pipelined split must agree with the sequential adler32 *)
+    ("adler32_par", [ 1 ], 1054869625);
+    ("adler32_par", [ 77 ], 1335888153);
+    (* pointer walk must agree with the array-indexed fir *)
+    ("fir_ptr", [ 1; 2 ], -68);
+    ("fir_ptr", [ 5; -3 ], 76) ]
 
 let test_pinned_values () =
   List.iter
