@@ -1,0 +1,164 @@
+(* BENCH_explore: the design-space sweep as an experiment.
+
+   For a handful of workload kernels, run the full explore grid
+   (resource bound x chaining budget x unroll factor x backend), verify
+   every design point against the reference interpreter, and record the
+   Pareto front minimizing (area, cycles, clock period).  A second,
+   warm sweep over the same grid must be answered entirely by the
+   driver's design cache — one front-tier hit per distinct config
+   digest — which is the bench's cache regression check.
+
+   Any failed or oracle-diverging point fails the bench loudly.
+   Results go to BENCH_explore.json (schema chls.bench-explore/1). *)
+
+let backend_names = [ "bachc"; "hardwarec"; "transmogrifier"; "c2v" ]
+
+let kernels () =
+  [ Workloads.gcd; Workloads.fir; Workloads.dotprod; Workloads.crc ]
+
+type row = {
+  workload : string;
+  points : int;
+  verified : int;
+  infeasible : int;
+  rejected : int;
+  pareto : int list;
+  sweep : Explore.sweep;
+  wall_ms : float;
+  warm_hits : int;  (* front-tier hits answering the second sweep *)
+}
+
+let count sweep name =
+  List.length
+    (List.filter
+       (fun (c : Explore.cell) ->
+         Explore.status_name c.Explore.cell_status = name)
+       sweep.Explore.sw_cells)
+
+let front_hits () =
+  match List.assoc_opt "driver.cache.front_hits" (Driver.cache_metrics ()) with
+  | Some n -> n
+  | None -> 0
+
+let sweep_row (w : Workloads.t) : row =
+  let backends = List.map Registry.get backend_names in
+  let args = List.hd w.Workloads.arg_sets in
+  let run () =
+    Explore.run ~source:w.Workloads.source ~entry:w.Workloads.entry ~args
+      Explore.default_grid backends
+  in
+  let sweep = run () in
+  (* warm re-run: every point is a distinct config digest already in the
+     front tier, so the second sweep must be all hits *)
+  let h0 = front_hits () in
+  let _warm = run () in
+  let warm_hits = front_hits () - h0 in
+  let failed = count sweep "failed" and unverified = count sweep "unverified" in
+  if failed > 0 || unverified > 0 then
+    failwith
+      (Printf.sprintf
+         "explore bench: %s has %d failed / %d unverified point(s) — run \
+          `chlsc explore` on the kernel for the per-point detail"
+         w.Workloads.name failed unverified);
+  { workload = w.Workloads.name;
+    points = List.length sweep.Explore.sw_cells;
+    verified = Explore.verified_count sweep;
+    infeasible = count sweep "infeasible";
+    rejected = count sweep "rejected";
+    pareto = sweep.Explore.sw_pareto;
+    sweep;
+    wall_ms = sweep.Explore.sw_wall_ms;
+    warm_hits }
+
+let json_of_row r =
+  let pareto_cells =
+    List.map
+      (fun i ->
+        let c = List.nth r.sweep.Explore.sw_cells i in
+        let meas =
+          match c.Explore.cell_status with
+          | Explore.Measured m ->
+            let f = function
+              | Some v -> Metrics.Fixed (2, v)
+              | None -> Metrics.Null
+            in
+            let n = function
+              | Some v -> Metrics.Int v
+              | None -> Metrics.Null
+            in
+            [ ("area", f m.Explore.m_area);
+              ("cycles", n m.Explore.m_cycles);
+              ("period", f m.Explore.m_period) ]
+          | _ -> []
+        in
+        Metrics.Obj
+          (( "point", Metrics.Int i )
+          :: ("backend", Metrics.String c.Explore.cell_backend)
+          :: ("config", Metrics.String c.Explore.cell_digest)
+          :: ("knobs", Config.to_json c.Explore.cell_config)
+          :: meas))
+      r.pareto
+  in
+  Metrics.Obj
+    [ ("workload", Metrics.String r.workload);
+      ("points", Metrics.Int r.points);
+      ("verified", Metrics.Int r.verified);
+      ("infeasible", Metrics.Int r.infeasible);
+      ("rejected", Metrics.Int r.rejected);
+      ("pareto", Metrics.List pareto_cells);
+      ("wall_ms", Metrics.Fixed (1, r.wall_ms));
+      ("warm_front_hits", Metrics.Int r.warm_hits) ]
+
+let emit_json path rows =
+  let m = Metrics.create () in
+  Metrics.set_string m "schema" "chls.bench-explore/1";
+  Metrics.set_string m "experiment"
+    "design-space sweep: (adders x chain budget x unroll x backend) grid \
+     per kernel, every point oracle-verified, Pareto front minimizing \
+     (area, cycles, period), warm re-sweep answered by the design cache";
+  Metrics.set_string m "backends" (String.concat "," backend_names);
+  Metrics.set m "sweeps" (Metrics.List (List.map json_of_row rows));
+  Metrics.write_file m path
+
+let run_with kernels () =
+  Tables.section "BENCH" "Design-space exploration"
+    "every kernel swept over the (adders x chain x unroll x backend) \
+     grid; each point is compiled under its own config digest, \
+     simulated, and checked against the reference interpreter; the \
+     Pareto front minimizes (area, cycles, period)";
+  Driver.clear_cache ();
+  let rows = List.map sweep_row kernels in
+  Tables.table
+    [ 12; 7; 9; 11; 9; 14; 8; 10 ]
+    [ "workload"; "points"; "verified"; "infeasible"; "rejected";
+      "pareto"; "ms"; "warm hits" ]
+    (List.map
+       (fun r ->
+         [ r.workload;
+           string_of_int r.points;
+           string_of_int r.verified;
+           string_of_int r.infeasible;
+           string_of_int r.rejected;
+           String.concat ","
+             (List.map (fun i -> "#" ^ string_of_int i) r.pareto);
+           Printf.sprintf "%.0f" r.wall_ms;
+           string_of_int r.warm_hits ])
+       rows);
+  List.iter
+    (fun r ->
+      if r.warm_hits < r.points then
+        failwith
+          (Printf.sprintf
+             "explore bench: warm re-sweep of %s hit the cache %d/%d \
+              times — config digests are not keying the design cache"
+             r.workload r.warm_hits r.points))
+    rows;
+  emit_json "BENCH_explore.json" rows;
+  Printf.printf
+    "\nEvery point oracle-verified; warm sweeps all cache hits; wrote \
+     BENCH_explore.json\n"
+
+let run_all () = run_with (kernels ()) ()
+
+(* CI smoke: the same sweep and artifact (the grid is already small). *)
+let run_smoke () = run_with (kernels ()) ()

@@ -98,6 +98,13 @@ let () =
     Fuzz_bench.run_smoke ();
     exit 0
   end;
+  (* CI entry: the explore bench alone, so BENCH_explore.json (per-kernel
+     design-space sweeps, every point oracle-verified, warm re-sweeps all
+     cache hits) regenerates on every push *)
+  if Array.exists (fun a -> a = "--explore-smoke") Sys.argv then begin
+    Explore_bench.run_smoke ();
+    exit 0
+  end;
   print_endline
     "CHLS experiment harness — reproducing Edwards, \"The Challenges of \
      Hardware\nSynthesis from C-like Languages\" (DATE 2005).";
@@ -112,6 +119,9 @@ let () =
   (* fuzz corpus + oracle-agreement matrix: deterministic generation, so
      the agreement counts are stable (only wall time varies) *)
   Fuzz_bench.run_all ();
+  (* design-space sweeps: deterministic points and fronts; the warm
+     re-sweep doubles as the config-keyed cache regression check *)
+  Explore_bench.run_all ();
   (* the serve bench's cache-provenance counts and oracle checks are
      deterministic too; it must precede anything that might spawn a
      domain, because its persistence phase forks *)

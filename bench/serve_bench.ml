@@ -49,7 +49,8 @@ let requests () =
               source = w.Workloads.source;
               entry = w.Workloads.entry;
               backend = Registry.name b;
-              args = Some (List.hd w.Workloads.arg_sets) })
+              args = Some (List.hd w.Workloads.arg_sets);
+              config = None })
         (backends ()))
     workloads
 

@@ -479,8 +479,11 @@ let compile_cmd =
             "--verify-passes needs an argument vector: pass --args as well\n";
           exit 1
     in
-    Passes.set_options
-      { Passes.default_options with Passes.verify; dump_after = dump_ir };
+    (* per-compile configuration — no global pass options; the config's
+       digest keys the design cache so later sweeps see distinct points *)
+    let config =
+      { Config.default with Config.verify; dump_after = dump_ir; sim }
+    in
     (* the whole invocation is one trace: frontend, dialect check, passes,
        backend, simulation and oracle become spans under this root *)
     let tr, tctx = Span.start ~kind:"compile" () in
@@ -505,7 +508,7 @@ let compile_cmd =
        turns every rejection into a typed, located diagnostic *)
     let session = Driver.create ~entry source in
     let design =
-      match Driver.compile ~ctx:tctx session backend with
+      match Driver.compile ~ctx:tctx ~config session backend with
       | Ok design -> design
       | Error (Driver.Verification_error { message; _ }) ->
         write_trace ~failed:true ();
@@ -1386,6 +1389,139 @@ let fuzz_cmd =
     Term.(const run $ seed_arg $ count_arg $ dialects_arg $ out_dir_arg
           $ verify_passes_flag $ verify_sim_flag $ metrics_json_arg)
 
+(* chlsc explore: the design-space sweep (lib/core/explore.ml).  Every
+   grid point is a distinct Config digest, so repeated sweeps are warm
+   cache hits per point — attach --cache-dir and they survive restarts
+   too.  Exit 0 when every measured point is oracle-verified, 2 when a
+   point failed or diverged from the reference (infeasible and
+   dialect-rejected cells are expected, typed outcomes — not errors). *)
+let explore_cmd =
+  let doc =
+    "Sweep a grid of synthesis configurations (resource bound x chaining \
+     budget x unroll factor x backend), verify every design point \
+     against the software oracle and print the Pareto front minimizing \
+     (area, cycles, clock period)"
+  in
+  let backends_arg =
+    Arg.(value & opt string "bachc,hardwarec,transmogrifier,c2v"
+         & info [ "backends" ] ~docv:"B,B,..."
+             ~doc:
+               "Comma-separated backends to sweep.  The default spans \
+                the trade-off space: two schedulers (one with \
+                timing-constraint reports, so infeasible cells show \
+                up), the statement-per-state transmogrifier and the \
+                one-instruction-per-cycle c2verilog machine")
+  in
+  let grid_arg =
+    Arg.(value & opt (some string) None
+         & info [ "grid" ] ~docv:"SPEC"
+             ~doc:
+               "Grid axes as $(b,adders=1,2;chain=10,200;unroll=1,2) \
+                (the default).  Unset axes keep their defaults; \
+                $(b,adders=*) means unconstrained")
+  in
+  let domains_arg =
+    Arg.(value & opt (some int) None
+         & info [ "domains" ] ~docv:"N"
+             ~doc:
+               "Worker domains evaluating grid points in parallel \
+                (default: up to 4, bounded by the machine and the point \
+                count)")
+  in
+  let run file entry args backends_spec grid_spec domains metrics_json sim
+      cache_dir cache_max_bytes =
+    attach_cache cache_dir cache_max_bytes;
+    let args =
+      match args with
+      | Some a -> parse_args_list a
+      | None ->
+        Printf.eprintf
+          "explore verifies every point against the oracle: pass --args\n";
+        exit 1
+    in
+    let grid =
+      match grid_spec with
+      | None -> Explore.default_grid
+      | Some spec -> (
+        match Explore.parse_grid spec with
+        | Ok g -> g
+        | Error msg ->
+          Printf.eprintf "bad --grid: %s\n" msg;
+          exit 1)
+    in
+    let backends =
+      List.map
+        (fun n ->
+          match Registry.find (String.trim n) with
+          | Some b -> b
+          | None ->
+            Printf.eprintf "unknown backend %S; registered: %s\n" n
+              (Registry.catalog ());
+            exit 1)
+        (List.filter
+           (fun s -> String.trim s <> "")
+           (String.split_on_char ',' backends_spec))
+    in
+    let source = read_file file in
+    let base = { Config.default with Config.sim } in
+    let sweep =
+      Explore.run ?domains ~base ~source ~entry ~args grid backends
+    in
+    Printf.printf "%s -e %s, args = %s: %d design points\n\n" file entry
+      (String.concat "," (List.map string_of_int args))
+      (List.length sweep.Explore.sw_cells);
+    let header, rows = Explore.table sweep in
+    print_table header rows;
+    let count name =
+      List.length
+        (List.filter
+           (fun (c : Explore.cell) ->
+             Explore.status_name c.Explore.cell_status = name)
+           sweep.Explore.sw_cells)
+    in
+    let failed = count "failed" and unverified = count "unverified" in
+    Printf.printf
+      "\n%d point(s): %d verified, %d infeasible, %d rejected, %d failed \
+       [%.0f ms]\n"
+      (List.length sweep.Explore.sw_cells)
+      (Explore.verified_count sweep)
+      (count "infeasible") (count "rejected") failed sweep.Explore.sw_wall_ms;
+    Printf.printf "Pareto front (min area, cycles, period): %s\n"
+      (match sweep.Explore.sw_pareto with
+      | [] -> "empty"
+      | ps -> String.concat ", " (List.map (fun i -> "#" ^ string_of_int i) ps));
+    List.iter
+      (fun (c : Explore.cell) ->
+        match c.Explore.cell_status with
+        | Explore.Infeasible d ->
+          Printf.printf "  infeasible %s: %s\n" c.Explore.cell_backend d
+        | Explore.Failed d ->
+          Printf.printf "  FAILED %s: %s\n" c.Explore.cell_backend d
+        | _ -> ())
+      sweep.Explore.sw_cells;
+    let cache_stat k =
+      Option.value ~default:0 (List.assoc_opt k (Driver.cache_metrics ()))
+    in
+    Printf.printf "design cache: %d front hit(s), %d store hit(s) this run\n"
+      (cache_stat "driver.cache.front_hits")
+      (cache_stat "driver.store.hits");
+    (match metrics_json with
+    | Some path ->
+      Metrics.write_file (Explore.metrics sweep) path;
+      Printf.printf "wrote %s\n" path
+    | None -> ());
+    if failed > 0 || unverified > 0 then begin
+      Printf.eprintf
+        "EXPLORE: %d failed, %d unverified point(s) (see table)\n" failed
+        unverified;
+      exit 2
+    end
+  in
+  Cmd.v (Cmd.info "explore" ~doc)
+    Term.(const run $ file_arg $ entry_arg $ args_arg $ backends_arg
+          $ grid_arg $ domains_arg $ metrics_json_arg $ sim_arg
+          $ cache_dir_arg $ cache_max_bytes_arg)
+
 let () =
   let doc = "C-like hardware synthesis: the DATE 2005 survey, executable" in
   let info = Cmd.info "chlsc" ~version:"1.0.0" ~doc in
@@ -1393,4 +1529,5 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ table1_cmd; check_cmd; run_cmd; compile_cmd; compare_cmd;
-            analyze_cmd; fuzz_cmd; serve_cmd; client_cmd; cache_cmd ]))
+            analyze_cmd; explore_cmd; fuzz_cmd; serve_cmd; client_cmd;
+            cache_cmd ]))

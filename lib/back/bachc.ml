@@ -24,33 +24,37 @@ let pipeline =
     ~program_passes:[ Conc_check.pass Dialect.bachc ]
     ~func_passes:[ Passes.simplify_pass ]
 
-let compile ?(resources = Schedule.default_allocation)
+let compile ?(knobs = Backend.default_knobs) ?resources
     (program : Ast.program) ~entry : Design.t =
+  let resources =
+    match resources with Some r -> r | None -> knobs.Backend.resources
+  in
   if Handelc.uses_concurrency program then
     (* The concurrent subset runs on the statement machine with scheduled
        block timing; Handel_sim provides it. *)
     Handelc.compile_with_policy ~backend_name:"bachc" ~dialect
-      ~policy:`Scheduled program ~entry
+      ~policy:`Scheduled ~knobs program ~entry
   else
-    Fsmd_common.build ~backend_name:"bachc" ~dialect ~pipeline
+    Fsmd_common.build ~backend_name:"bachc" ~dialect ~pipeline ~knobs
       ~schedule_block:(fun func blk ->
         Schedule.list_schedule func resources blk.Cir.instrs)
       program ~entry
 
 (** Cyber/BDL rides the same scheduler (restricted C with extensions; no
     pointers or recursion), per its Table 1 row. *)
-let compile_cyber = compile ~resources:Schedule.default_allocation
+let compile_cyber ?knobs program ~entry = compile ?knobs program ~entry
 
 let descriptor =
   Backend.make ~name:"bachc" ~aliases:[ "bach" ] ~pipeline:(Some pipeline)
     ~description:"untimed semantics: resource-constrained scheduling \
                   decides the cycles"
     ~dialect:Dialect.bachc
-    (fun program ~entry -> compile program ~entry)
+    (fun ~knobs program ~entry -> compile ~knobs program ~entry)
 
 (* Cyber/BDL rides the same scheduler but is a distinct surveyed
    language: its own Table 1 row, dialect restrictions and registration. *)
 let cyber_descriptor =
   Backend.make ~name:"cyber" ~aliases:[ "bdl" ] ~pipeline:(Some pipeline)
     ~description:"restricted C (BDL) on the Bach C scheduler"
-    ~dialect:Dialect.cyber compile_cyber
+    ~dialect:Dialect.cyber
+    (fun ~knobs program ~entry -> compile_cyber ~knobs program ~entry)

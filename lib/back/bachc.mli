@@ -13,9 +13,13 @@ val pipeline : Passes.pipeline
     the Handel-C statement machine instead). *)
 
 val compile :
-  ?resources:Schedule.resources -> Ast.program -> entry:string -> Design.t
+  ?knobs:Backend.knobs -> ?resources:Schedule.resources -> Ast.program ->
+  entry:string -> Design.t
+(** [resources] (when given) overrides [knobs.resources]; [knobs]
+    otherwise carries the allocation plus pass options and unroll. *)
 
-val compile_cyber : Ast.program -> entry:string -> Design.t
+val compile_cyber :
+  ?knobs:Backend.knobs -> Ast.program -> entry:string -> Design.t
 (** Cyber/BDL rides the same scheduler (restricted C, no pointers or
     recursion), per its Table 1 row. *)
 

@@ -196,9 +196,13 @@ let run ?(max_cycles = 50_000_000) (compiled : C2verilog.compiled)
    its declared pipeline is source-only and empty. *)
 let pipeline = Passes.pipeline "c2verilog" ~lowers:false
 
-let compile (program : Ast.program) ~entry : Design.t =
+let compile ?(knobs = Backend.default_knobs) (program : Ast.program) ~entry :
+    Design.t =
   Backend.reject_if_illegal ~backend:"c2verilog" Dialect.c2verilog program;
-  let program, pass_trace = Passes.run_program_passes pipeline program ~entry in
+  let program, pass_trace =
+    Passes.run_program_passes ~options:knobs.Backend.pass_options pipeline
+      program ~entry
+  in
   let compiled = C2verilog.compile_program program ~entry in
   let verilog = lazy (C2v_verilog.to_string compiled ~name:entry) in
   let ret_width =
@@ -254,4 +258,5 @@ let descriptor =
     ~pipeline:(Some pipeline)
     ~description:"full ANSI C on a synthesized stack machine with one \
                   unified memory"
-    ~dialect:Dialect.c2verilog compile
+    ~dialect:Dialect.c2verilog
+    (fun ~knobs program ~entry -> compile ~knobs program ~entry)

@@ -29,7 +29,7 @@ val pipeline : Passes.pipeline
 (** Source-only and empty: the stack-machine compiler consumes the AST
     (pointers and recursion need the unified memory, not CIR). *)
 
-val compile : Ast.program -> entry:string -> Design.t
+val compile : ?knobs:Backend.knobs -> Ast.program -> entry:string -> Design.t
 (** The full backend: compile to stack code, wrap the machine; the
     Verilog view is the generated processor (see {!C2v_verilog}). *)
 

@@ -14,9 +14,12 @@ let dialect = Dialect.cash
    of the raw lowering, where every tiny block is just a cheap merge. *)
 let pipeline = Passes.pipeline "cash"
 
-let compile ?timing ?handshake (program : Ast.program) ~entry : Design.t =
+let compile ?(knobs = Backend.default_knobs) ?timing ?handshake
+    (program : Ast.program) ~entry : Design.t =
   Backend.reject_if_illegal ~backend:"cash" dialect program;
-  let lowered, pass_trace = Passes.run pipeline program ~entry in
+  let lowered, pass_trace =
+    Passes.run ~options:knobs.Backend.pass_options pipeline program ~entry
+  in
   let ssa = Ssa.of_func lowered.Lower.func in
   (* SSA renaming grows the register file, and the token simulator
      executes the SSA: the timing model and the tracer must both see the
@@ -74,4 +77,4 @@ let descriptor =
   Backend.make ~name:"cash" ~pipeline:(Some pipeline)
     ~description:"asynchronous Pegasus-style dataflow circuit, no clock"
     ~dialect:Dialect.cash
-    (fun program ~entry -> compile program ~entry)
+    (fun ~knobs program ~entry -> compile ~knobs program ~entry)

@@ -9,8 +9,8 @@ val pipeline : Passes.pipeline
     lowering. *)
 
 val compile :
-  ?timing:Asim.timing -> ?handshake:float -> Ast.program -> entry:string ->
-  Design.t
+  ?knobs:Backend.knobs -> ?timing:Asim.timing -> ?handshake:float ->
+  Ast.program -> entry:string -> Design.t
 (** [timing] overrides the operator latency model wholesale; [handshake]
     (used only when [timing] is absent) adjusts the per-token overhead of
     the default width-aware model — the knob ablations sweep. *)

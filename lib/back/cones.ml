@@ -413,8 +413,12 @@ let synthesize (program : Ast.program) ~entry : Netlist.t =
    for loops itself.  The declared pipeline is source-only and empty. *)
 let pipeline = Passes.pipeline "cones" ~lowers:false
 
-let compile (program : Ast.program) ~entry : Design.t =
-  let program, pass_trace = Passes.run_program_passes pipeline program ~entry in
+let compile ?(knobs = Backend.default_knobs) (program : Ast.program) ~entry :
+    Design.t =
+  let program, pass_trace =
+    Passes.run_program_passes ~options:knobs.Backend.pass_options pipeline
+      program ~entry
+  in
   let nl = synthesize program ~entry in
   let report = Area.analyze nl in
   let run ?vcd ?(sim = Design.Compiled) args =
@@ -471,4 +475,5 @@ let descriptor =
     ~description:
       "symbolic execution of the entry function into combinational \
        two-level logic"
-    ~dialect:Dialect.cones compile
+    ~dialect:Dialect.cones
+    (fun ~knobs program ~entry -> compile ~knobs program ~entry)

@@ -39,6 +39,7 @@ let simulate ?engine ?vcd ?(sim = Design.Compiled) fsmd ~args :
     metrics }
 
 let build ~backend_name ~dialect ?(mem_forwarding = false) ?pipeline
+    ?(knobs = Backend.default_knobs)
     ~(schedule_block : Cir.func -> Cir.block -> Schedule.schedule)
     ?(extra_stats = fun (_ : Lower.result) (_ : Fsmd.t) -> [])
     (program : Ast.program) ~entry : Design.t =
@@ -49,7 +50,10 @@ let build ~backend_name ~dialect ?(mem_forwarding = false) ?pipeline
     | None ->
       Passes.pipeline backend_name ~func_passes:[ Passes.simplify_pass ]
   in
-  let lowered, pass_trace = Passes.run pipeline program ~entry in
+  let pipeline = Backend.specialize knobs pipeline in
+  let lowered, pass_trace =
+    Passes.run ~options:knobs.Backend.pass_options pipeline program ~entry
+  in
   let func = lowered.Lower.func in
   let fsmd =
     Fsmd.of_func ~mem_forwarding func ~schedule_block:(schedule_block func)

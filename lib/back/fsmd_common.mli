@@ -18,8 +18,12 @@ val simulate :
 
 val build :
   backend_name:string -> dialect:Dialect.t -> ?mem_forwarding:bool ->
-  ?pipeline:Passes.pipeline ->
+  ?pipeline:Passes.pipeline -> ?knobs:Backend.knobs ->
   schedule_block:(Cir.func -> Cir.block -> Schedule.schedule) ->
   ?extra_stats:(Lower.result -> Fsmd.t -> (string * string) list) ->
   Ast.program -> entry:string -> Design.t
-(** [pipeline] defaults to [backend_name: lower; simplify]. *)
+(** [pipeline] defaults to [backend_name: lower; simplify].  [knobs]
+    (default {!Backend.default_knobs}) supplies the per-compile pass
+    options and specializes the pipeline ({!Backend.specialize});
+    resource bounds stay the caller's business — close [schedule_block]
+    over [knobs.resources]. *)

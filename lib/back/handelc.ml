@@ -599,8 +599,10 @@ let uses_concurrency (program : Ast.program) =
 
 let compile_with_policy ~backend_name ~dialect ~policy
     ?(program_passes : Passes.program_pass list = [])
-    (program : Ast.program) ~entry : Design.t =
+    ?(knobs = Backend.default_knobs) (program : Ast.program) ~entry :
+    Design.t =
   Backend.reject_if_illegal ~backend:backend_name dialect program;
+  let options = knobs.Backend.pass_options in
   let policy =
     match policy with
     | `One_per_assignment -> `One_cycle_per_assignment
@@ -613,10 +615,11 @@ let compile_with_policy ~backend_name ~dialect ~policy
      arms writing one variable under Handel-C's rules) never reaches the
      simulator — Conc_check.Check_failed carries the located diagnostics. *)
   let program, source_trace =
-    Passes.run_program_passes
-      (Passes.pipeline backend_name
-         ~program_passes:(Conc_check.pass dialect :: program_passes)
-         ~lowers:false)
+    Passes.run_program_passes ~options
+      (Backend.specialize knobs
+         (Passes.pipeline backend_name
+            ~program_passes:(Conc_check.pass dialect :: program_passes)
+            ~lowers:false))
       program ~entry
   in
   let run ?vcd:_ ?sim:_ args =
@@ -682,7 +685,7 @@ let compile_with_policy ~backend_name ~dialect ~policy
       Error "concurrent program (par/channels): statement machine only"
     else
       match
-        Passes.run
+        Passes.run ~options
           (Passes.pipeline (backend_name ^ "-structural")
              ~func_passes:[ Passes.simplify_pass ])
           program ~entry
@@ -743,9 +746,9 @@ let pipeline =
     ~program_passes:[ Conc_check.pass Dialect.handelc ]
     ~func_passes:[ Passes.simplify_pass ]
 
-let compile (program : Ast.program) ~entry : Design.t =
+let compile ?knobs (program : Ast.program) ~entry : Design.t =
   compile_with_policy ~backend_name:"handelc" ~dialect
-    ~policy:`One_per_assignment program ~entry
+    ~policy:`One_per_assignment ?knobs program ~entry
 
 (** E4 recoding: fuse single-use temporaries first, saving their cycles. *)
 let compile_fused (program : Ast.program) ~entry : Design.t =
@@ -758,4 +761,5 @@ let descriptor =
     ~pipeline:(Some pipeline)
     ~description:"one cycle per assignment, par/channels on the statement \
                   machine"
-    ~dialect:Dialect.handelc compile
+    ~dialect:Dialect.handelc
+    (fun ~knobs program ~entry -> compile ~knobs program ~entry)

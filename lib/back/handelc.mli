@@ -46,20 +46,21 @@ val uses_concurrency : Ast.program -> bool
 val compile_with_policy :
   backend_name:string -> dialect:Dialect.t ->
   policy:[ `One_per_assignment | `Scheduled ] ->
-  ?program_passes:Passes.program_pass list -> Ast.program ->
-  entry:string -> Design.t
+  ?program_passes:Passes.program_pass list -> ?knobs:Backend.knobs ->
+  Ast.program -> entry:string -> Design.t
 (** [program_passes] are source-level recodings declared to the pass
     manager (timed, differentially checked); the statement machine runs
-    the transformed program.  When the sequential structural view cannot
-    be lowered, the reason appears as a ["structural view"] diagnostic in
-    the design's stats. *)
+    the transformed program.  [knobs] (default {!Backend.default_knobs})
+    supplies the per-compile pass options and the unroll factor.  When
+    the sequential structural view cannot be lowered, the reason appears
+    as a ["structural view"] diagnostic in the design's stats. *)
 
 val dialect : Dialect.t
 
 val pipeline : Passes.pipeline
 (** The structural view's pipeline: [lower; simplify]. *)
 
-val compile : Ast.program -> entry:string -> Design.t
+val compile : ?knobs:Backend.knobs -> Ast.program -> entry:string -> Design.t
 (** The Handel-C rule: one cycle per assignment. *)
 
 val compile_fused : Ast.program -> entry:string -> Design.t

@@ -28,8 +28,11 @@ type report = {
   chosen_allocation : string;
 }
 
-let compile ?(resources = Schedule.default_allocation)
+let compile ?(knobs = Backend.default_knobs) ?resources
     (program : Ast.program) ~entry : Design.t * report =
+  let resources =
+    match resources with Some r -> r | None -> knobs.Backend.resources
+  in
   Backend.reject_if_illegal ~backend:"hardwarec" dialect program;
   if Handelc.uses_concurrency program then
     (* HardwareC's process-level parallelism and message passing run on
@@ -38,12 +41,17 @@ let compile ?(resources = Schedule.default_allocation)
        report is empty.  [constrain] blocks execute their body (the
        machine has no schedule to check them against). *)
     ( Handelc.compile_with_policy ~backend_name:"hardwarec" ~dialect
-        ~policy:`Scheduled program ~entry,
+        ~policy:`Scheduled ~knobs program ~entry,
       { statuses = [];
         exploration = [];
         chosen_allocation = "statement machine (concurrent)" } )
   else
-  let lowered, pass_trace = Passes.run pipeline program ~entry in
+  (* No pipeline specialization: constrain ranges name raw block ids, so
+     even the unroll knob must not reshape the source here.  Only the
+     pass options (verify/dump) flow through. *)
+  let lowered, pass_trace =
+    Passes.run ~options:knobs.Backend.pass_options pipeline program ~entry
+  in
   let func = lowered.Lower.func in
   let constraints = Constrain.of_lowering lowered.Lower.constraints in
   (* pick an allocation meeting all max constraints, per block *)
@@ -158,8 +166,8 @@ let stats_of_report (r : report) =
                 (if ok then "" else " (violated)"))
             trail)) ])
 
-let compile_reporting program ~entry =
-  let design, report = compile program ~entry in
+let compile_reporting ?knobs program ~entry =
+  let design, report = compile ?knobs program ~entry in
   { design with Design.stats = design.Design.stats @ stats_of_report report }
 
 let descriptor =
@@ -169,4 +177,5 @@ let descriptor =
     ~pipeline:(Some pipeline)
     ~description:"scheduled FSMD exploring allocations under [constrain] \
                   timing bounds"
-    ~dialect:Dialect.hardwarec compile_reporting
+    ~dialect:Dialect.hardwarec
+    (fun ~knobs program ~entry -> compile_reporting ~knobs program ~entry)

@@ -51,7 +51,8 @@ let pipeline =
 
 (** Run the refinement flow, checking equivalence at every level on each
     of [test_vectors]. *)
-let refine (program : Ast.program) ~entry ~test_vectors : Design.t * report =
+let refine ?(knobs = Backend.default_knobs) (program : Ast.program) ~entry
+    ~test_vectors : Design.t * report =
   Backend.reject_if_illegal ~backend:"specc" dialect program;
   let spec_result vector =
     let outcome =
@@ -78,12 +79,11 @@ let refine (program : Ast.program) ~entry ~test_vectors : Design.t * report =
   let arch_design =
     if concurrent then
       Handelc.compile_with_policy ~backend_name:"specc-arch" ~dialect
-        ~policy:`Scheduled program ~entry
+        ~policy:`Scheduled ~knobs program ~entry
     else
-      Fsmd_common.build ~backend_name:"specc-arch" ~dialect ~pipeline
+      Fsmd_common.build ~backend_name:"specc-arch" ~dialect ~pipeline ~knobs
         ~schedule_block:(fun func blk ->
-          Schedule.list_schedule func Schedule.default_allocation
-            blk.Cir.instrs)
+          Schedule.list_schedule func knobs.Backend.resources blk.Cir.instrs)
         program ~entry
   in
   List.iter
@@ -99,7 +99,7 @@ let refine (program : Ast.program) ~entry ~test_vectors : Design.t * report =
   let comm_design =
     if concurrent then
       Handelc.compile_with_policy ~backend_name:"specc-comm" ~dialect
-        ~policy:`One_per_assignment program ~entry
+        ~policy:`One_per_assignment ~knobs program ~entry
     else arch_design
   in
   List.iter
@@ -132,10 +132,11 @@ let refine (program : Ast.program) ~entry ~test_vectors : Design.t * report =
   ( { impl_design with Design.backend = "specc" },
     { checks; all_equivalent = List.for_all (fun c -> c.equivalent) checks } )
 
-let compile (program : Ast.program) ~entry : Design.t =
-  fst (refine program ~entry ~test_vectors:[])
+let compile ?knobs (program : Ast.program) ~entry : Design.t =
+  fst (refine ?knobs program ~entry ~test_vectors:[])
 
 let descriptor =
   Backend.make ~name:"specc" ~pipeline:(Some pipeline)
     ~description:"behavioural hierarchy with par, scheduled per behaviour"
-    ~dialect:Dialect.specc compile
+    ~dialect:Dialect.specc
+    (fun ~knobs program ~entry -> compile ~knobs program ~entry)

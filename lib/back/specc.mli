@@ -25,10 +25,11 @@ val pipeline : Passes.pipeline
 (** The architecture-level refinement's pipeline: [lower; simplify]. *)
 
 val refine :
-  Ast.program -> entry:string -> test_vectors:int list list ->
-  Design.t * report
-(** Run the full flow; the returned design is the implementation level. *)
+  ?knobs:Backend.knobs -> Ast.program -> entry:string ->
+  test_vectors:int list list -> Design.t * report
+(** Run the full flow; the returned design is the implementation level.
+    [knobs] supplies the architecture level's resource allocation. *)
 
-val compile : Ast.program -> entry:string -> Design.t
+val compile : ?knobs:Backend.knobs -> Ast.program -> entry:string -> Design.t
 
 val descriptor : Backend.descriptor

@@ -213,8 +213,11 @@ let pipeline = Passes.pipeline "systemc" ~func_passes:[ Passes.simplify_pass ]
 
 (** SystemC backend entry point: schedule like Bach C, then simulate the
     FSMD as a clock-edge-triggered process network. *)
-let compile ?(resources = Schedule.default_allocation)
+let compile ?(knobs = Backend.default_knobs) ?resources
     (program : Ast.program) ~entry : Design.t =
+  let resources =
+    match resources with Some r -> r | None -> knobs.Backend.resources
+  in
   Backend.reject_if_illegal ~backend:"systemc" Dialect.systemc program;
   if Handelc.uses_concurrency program then
     (* Process-level par/channels are not representable in the
@@ -222,9 +225,13 @@ let compile ?(resources = Schedule.default_allocation)
        on the statement machine with compiler-packed cycles, like the
        other concurrent dialects. *)
     Handelc.compile_with_policy ~backend_name:"systemc"
-      ~dialect:Dialect.systemc ~policy:`Scheduled program ~entry
+      ~dialect:Dialect.systemc ~policy:`Scheduled ~knobs program ~entry
   else
-  let lowered, pass_trace = Passes.run pipeline program ~entry in
+  let lowered, pass_trace =
+    Passes.run ~options:knobs.Backend.pass_options
+      (Backend.specialize knobs pipeline)
+      program ~entry
+  in
   let func = lowered.Lower.func in
   let fsmd =
     Fsmd.of_func func ~schedule_block:(fun blk ->
@@ -268,4 +275,4 @@ let descriptor =
   Backend.make ~name:"systemc" ~pipeline:(Some pipeline)
     ~description:"clocked process network simulated at the RTL level"
     ~dialect:Dialect.systemc
-    (fun program ~entry -> compile program ~entry)
+    (fun ~knobs program ~entry -> compile ~knobs program ~entry)

@@ -49,6 +49,8 @@ val pipeline : Passes.pipeline
 (** [lower; simplify]. *)
 
 val compile :
-  ?resources:Schedule.resources -> Ast.program -> entry:string -> Design.t
+  ?knobs:Backend.knobs -> ?resources:Schedule.resources -> Ast.program ->
+  entry:string -> Design.t
+(** [resources] (when given) overrides [knobs.resources]. *)
 
 val descriptor : Backend.descriptor

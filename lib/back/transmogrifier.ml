@@ -26,9 +26,9 @@ let unrolled_pipeline =
     ~program_passes:[ Passes.unroll_loops_pass ]
     ~func_passes:[ Passes.simplify_pass ]
 
-let compile (program : Ast.program) ~entry : Design.t =
+let compile ?knobs (program : Ast.program) ~entry : Design.t =
   Fsmd_common.build ~backend_name:"transmogrifier" ~dialect
-    ~mem_forwarding:true ~pipeline
+    ~mem_forwarding:true ~pipeline ?knobs
     ~schedule_block:Fsmd.transmogrifier_schedule program ~entry
 
 (** Variant used by experiment E4: unroll every bounded loop first, which
@@ -43,4 +43,5 @@ let descriptor =
   Backend.make ~name:"transmogrifier" ~aliases:[ "tmcc" ]
     ~pipeline:(Some pipeline)
     ~description:"one state per basic block, whole blocks chained per cycle"
-    ~dialect:Dialect.transmogrifier compile
+    ~dialect:Dialect.transmogrifier
+    (fun ~knobs program ~entry -> compile ~knobs program ~entry)

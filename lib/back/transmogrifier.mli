@@ -12,7 +12,7 @@ val pipeline : Passes.pipeline
 val unrolled_pipeline : Passes.pipeline
 (** [unroll-loops; lower; simplify] (E4's recoding, as a declared pass). *)
 
-val compile : Ast.program -> entry:string -> Design.t
+val compile : ?knobs:Backend.knobs -> Ast.program -> entry:string -> Design.t
 
 val compile_unrolled : Ast.program -> entry:string -> Design.t
 (** E4's recoding: unroll every bounded loop first, trading cycles for

@@ -7,6 +7,7 @@ type error =
                         violations : Dialect.violation list }
   | Backend_error of { backend : string; message : string; loc : Ast.loc }
   | Verification_error of { backend : string; message : string }
+  | Constraint_infeasible of { backend : string; message : string }
 
 type session = {
   source : string;
@@ -55,6 +56,8 @@ let render_error ?file = function
     else Printf.sprintf "%s: %s: error: %s" backend where message
   | Verification_error { backend; message } ->
     Printf.sprintf "%s: pass verification failed: %s" backend message
+  | Constraint_infeasible { backend; message } ->
+    Printf.sprintf "%s: unsatisfiable timing constraints: %s" backend message
 
 (* --- cache bookkeeping --- *)
 
@@ -148,21 +151,13 @@ let miss t kind =
   Metrics.incr t.metrics "driver.cache.misses";
   Metrics.incr t.metrics (Printf.sprintf "driver.cache.%s_misses" kind)
 
-(* The pass-manager options are part of the compile's identity (verify
-   vectors change what gets checked, dump hooks are side effects), so
-   they join the content hash. *)
-let options_fingerprint () =
-  let o = Passes.current_options () in
-  Printf.sprintf "%s|%s"
-    (String.concat ";"
-       (List.map
-          (fun vec -> String.concat "," (List.map string_of_int vec))
-          o.Passes.verify))
-    (String.concat "," o.Passes.dump_after)
-
-let design_key t backend =
+(* The configuration is part of the compile's identity — resource
+   bounds, unroll factor, verify vectors and dump hooks all change what
+   the backend produces or does — so its digest joins the content hash.
+   Distinct config points are distinct cached designs, on disk too. *)
+let design_key t backend config =
   Printf.sprintf "%s|%s|%s|%s" t.digest (Registry.name backend) t.entry
-    (options_fingerprint ())
+    (Config.digest config)
 
 (* --- the frontend, exactly once per session --- *)
 
@@ -220,7 +215,7 @@ let emit_pass_spans ctx ~at (trace : Passes.trace) =
         ("pass:" ^ r.Passes.pass_name))
     trace
 
-let compile ?(ctx = Span.null) t backend =
+let compile ?(ctx = Span.null) ?(config = Config.default) t backend =
   match program ~ctx t with
   | Error e -> Error e
   | Ok prog ->
@@ -243,7 +238,7 @@ let compile ?(ctx = Span.null) t backend =
         Span.span ctx "backend"
           ~attrs:[ ("backend", Metrics.String name) ]
           (fun sctx ->
-        let key = design_key t backend in
+        let key = design_key t backend config in
         match Cache.find design_cache key with
         | Some (design, `Front) ->
           hit t "design";
@@ -262,7 +257,10 @@ let compile ?(ctx = Span.null) t backend =
           let t0 = Sys.time () in
           let at = Span.elapsed_ms sctx in
           let r =
-            match Registry.compile backend prog ~entry:t.entry with
+            match
+              Registry.compile backend ~knobs:(Config.knobs config) prog
+                ~entry:t.entry
+            with
             | design ->
               Cache.add design_cache key design;
               (* only a fresh compile has live pass timings — a cached
@@ -298,11 +296,10 @@ let compile ?(ctx = Span.null) t backend =
             | exception Passes.Verification_failed message ->
               Error (Verification_error { backend = name; message })
             | exception Hardwarec.Unsatisfiable message ->
-              Error
-                (Backend_error
-                   { backend = name;
-                     message = "unsatisfiable timing constraints: " ^ message;
-                     loc = Ast.no_loc })
+              (* a typed verdict, not a failure: the design point asks
+                 for timing no allocation can meet — explore sweeps
+                 report these as infeasible cells *)
+              Error (Constraint_infeasible { backend = name; message })
             | exception Cones.Unsupported message ->
               Error
                 (Backend_error
@@ -318,11 +315,11 @@ let compile ?(ctx = Span.null) t backend =
           r)
     end
 
-let compile_all ?ctx ?backends t =
+let compile_all ?ctx ?config ?backends t =
   let backends =
     match backends with Some bs -> bs | None -> Registry.all ()
   in
-  List.map (fun b -> (b, compile ?ctx t b)) backends
+  List.map (fun b -> (b, compile ?ctx ?config t b)) backends
 
 let reference ?(ctx = Span.null) t ~args =
   Span.span ctx "oracle"

@@ -6,9 +6,9 @@
     {!session} owns one source: the frontend runs exactly once (memoized,
     timed), every backend compiles through {!compile} which memoizes the
     resulting {!Design.t} in a process-wide artifact cache keyed by a
-    content hash of (source digest, backend, entry, pass options), and
-    {!compile_all} runs dialect legality first and returns per-backend
-    accept/reject values instead of raising.
+    content hash of (source digest, backend, entry, {!Config.digest}),
+    and {!compile_all} runs dialect legality first and returns
+    per-backend accept/reject values instead of raising.
 
     Per-stage timings and cache activity land in the session's
     {!Metrics.t} registry ([driver.frontend_ms],
@@ -44,8 +44,13 @@ type error =
       (** the backend failed mid-compile (lowering, concurrency check,
           unsatisfiable constraints...) *)
   | Verification_error of { backend : string; message : string }
-      (** a semantics-preserving pass diverged under
-          [Passes.options.verify] *)
+      (** a semantics-preserving pass diverged under the config's
+          [verify] vectors *)
+  | Constraint_infeasible of { backend : string; message : string }
+      (** no allocation meets the program's timing constraints
+          (HardwareC's [constrain] walk exhausted the lattice) — a
+          property of the design point, not a failure; explore sweeps
+          render these as typed [infeasible] cells *)
 
 val render_error : ?file:string -> error -> string
 (** One-line diagnostic; locations render as [file:line:col] when a file
@@ -59,12 +64,16 @@ val program : ?ctx:Span.ctx -> session -> (Ast.program, error) result
     Under a span context, every call opens a ["frontend"] span whose
     [memo] attribute says whether the session memo answered. *)
 
-val compile : ?ctx:Span.ctx -> session -> Registry.t -> (Design.t, error) result
+val compile :
+  ?ctx:Span.ctx -> ?config:Config.t -> session -> Registry.t ->
+  (Design.t, error) result
 (** Compile through one backend: dialect legality first, then the
-    content-hashed design cache, then the backend itself with every
-    backend exception converted to a typed {!error}.  Never raises on
-    bad input; a repeated call with identical (source, backend, entry,
-    options) is a cache hit returning the same design.
+    content-hashed design cache, then the backend itself (under
+    [config]'s knobs, default {!Config.default}) with every backend
+    exception converted to a typed {!error}.  Never raises on bad
+    input; a repeated call with identical (source, backend, entry,
+    config digest) is a cache hit returning the same design, and two
+    calls differing only in config compile and cache independently.
 
     Under a span context the stages become spans: ["frontend"],
     ["dialect-check"], and a ["backend"] span whose [cache] attribute
@@ -74,7 +83,7 @@ val compile : ?ctx:Span.ctx -> session -> Registry.t -> (Design.t, error) result
     IR-size deltas as attributes. *)
 
 val compile_all :
-  ?ctx:Span.ctx -> ?backends:Registry.t list -> session ->
+  ?ctx:Span.ctx -> ?config:Config.t -> ?backends:Registry.t list -> session ->
   (Registry.t * (Design.t, error) result) list
 (** {!compile} across [backends] — the frontend runs once, each backend
     gets its own accept/reject verdict.  Verdict order is contractual:

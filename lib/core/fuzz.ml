@@ -95,9 +95,12 @@ let verify_engines design args : outcome =
     Fail { cls = "sim-error:" ^ e; detail = e }
 
 (* One backend on one argument vector.  [expected] is the reference
-   interpreter's value on the same vector. *)
-let classify_backend session backend ~args ~expected ~verify_sim : outcome =
-  match Driver.compile session backend with
+   interpreter's value on the same vector.  [config] carries the
+   per-compile pass options (verify vectors when --verify-passes) — no
+   global state, so parallel fuzz/serve work cannot bleed options. *)
+let classify_backend ?(config = Config.default) session backend ~args
+    ~expected ~verify_sim : outcome =
+  match Driver.compile ~config session backend with
   | Error (Driver.Dialect_reject _) -> Rejected
   | Error (Driver.No_c_frontend _) -> Skipped
   | Error (Driver.Frontend_error { message; _ }) ->
@@ -106,6 +109,8 @@ let classify_backend session backend ~args ~expected ~verify_sim : outcome =
     Fail { cls = "backend-error"; detail = message }
   | Error (Driver.Verification_error { message; _ }) ->
     Fail { cls = "pass-verification"; detail = message }
+  | Error (Driver.Constraint_infeasible { message; _ }) ->
+    Fail { cls = "constraint-infeasible"; detail = message }
   | Ok design -> (
     match run_design design args ~expected with
     | Agree when verify_sim -> verify_engines design args
@@ -118,7 +123,7 @@ let source_of prog = Pretty.program_to_string prog
 (* The keep predicate re-runs only the diverging layer and demands the
    same failure class — candidates that fail differently (or stop
    failing, or stop typechecking) are rejected. *)
-let same_failure ~backend ~args ~cls ~verify_sim prog =
+let same_failure ~config ~backend ~args ~cls ~verify_sim prog =
   let src = source_of prog in
   match Typecheck.parse_and_check src with
   | exception _ -> false
@@ -134,12 +139,16 @@ let same_failure ~backend ~args ~cls ~verify_sim prog =
       match reference src args with
       | Error _ -> false (* must keep the oracle healthy *)
       | Ok expected -> (
-        match classify_backend session b ~args ~expected ~verify_sim with
+        match
+          classify_backend ~config session b ~args ~expected ~verify_sim
+        with
         | Fail { cls = c; _ } -> c = cls
         | Agree | Rejected | Skipped -> false)))
 
-let shrink_divergence ~backend ~args ~cls ~verify_sim prog =
-  Fuzzgen.shrink ~keep:(same_failure ~backend ~args ~cls ~verify_sim) prog
+let shrink_divergence ~config ~backend ~args ~cls ~verify_sim prog =
+  Fuzzgen.shrink
+    ~keep:(same_failure ~config ~backend ~args ~cls ~verify_sim)
+    prog
 
 (* --- the sweep --------------------------------------------------------- *)
 
@@ -162,16 +171,19 @@ let run_dialect ?(arg_sets = default_arg_sets) ?backends
   let backends =
     match backends with Some bs -> bs | None -> Registry.compiling ()
   in
-  let saved_options = Passes.current_options () in
-  if verify_passes then
-    Passes.set_options
-      { saved_options with Passes.verify = arg_sets };
+  (* the config carries per-compile pass verification — no global
+     Passes.set_options, so a concurrent sweep on another domain keeps
+     its own options *)
+  let config =
+    if verify_passes then { Config.default with Config.verify = arg_sets }
+    else Config.default
+  in
   let compiled = ref 0 and rejected = ref 0 and agreed = ref 0 in
   let divergences = ref [] in
   let constructs = ref zero_counts in
   let record ~index ~args ~backend ~cls ~detail prog =
     let shrunk =
-      shrink_divergence
+      shrink_divergence ~config
         ~backend:(match backend with "reference" -> None
                   | b -> Some (Registry.get b))
         ~args ~cls ~verify_sim prog
@@ -223,7 +235,8 @@ let run_dialect ?(arg_sets = default_arg_sets) ?backends
               List.iter
                 (fun b ->
                   match
-                    classify_backend session b ~args ~expected ~verify_sim
+                    classify_backend ~config session b ~args ~expected
+                      ~verify_sim
                   with
                   | Agree ->
                     incr compiled;
@@ -242,7 +255,6 @@ let run_dialect ?(arg_sets = default_arg_sets) ?backends
                 backends)
           arg_sets
   done;
-  if verify_passes then Passes.set_options saved_options;
   { rep_dialect = dialect.Dialect.name;
     rep_backend = dialect.Dialect.backend;
     rep_generated = n;

@@ -55,8 +55,11 @@ val dialect : t -> Dialect.t
 val pipeline : t -> Passes.pipeline option
 val capabilities : t -> Backend.capabilities
 
-val compile : t -> Ast.program -> entry:string -> Design.t
-(** The descriptor's compile entry point.
+val compile :
+  t -> ?knobs:Backend.knobs -> Ast.program -> entry:string -> Design.t
+(** The descriptor's compile entry point; [knobs] (default
+    {!Backend.default_knobs}) carries the per-compile resource
+    allocation, unroll factor and pass options.
     @raise Backend.No_c_frontend for structural backends (Ocapi). *)
 
 val equal : t -> t -> bool

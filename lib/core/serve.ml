@@ -263,6 +263,7 @@ type request =
       entry : string;
       backend : string;
       args : int list option;
+      config : Config.t option;
     }
   | Compare of {
       id : Metrics.json;
@@ -270,6 +271,7 @@ type request =
       entry : string;
       backends : string list option;
       vectors : int list list;
+      config : Config.t option;
     }
   | Check of { id : Metrics.json; source : string; dialect : string }
   | Stats of { id : Metrics.json }
@@ -320,6 +322,17 @@ let parse_request (j : Metrics.json) : (request, string * Metrics.json) result
     | _ -> err (Printf.sprintf "%S must be a list" name)
   in
   let ( let* ) = Result.bind in
+  (* per-request synthesis configuration: an optional "config" object
+     parsed by Config.of_json, so sweeps can ride the Domain pool with a
+     distinct design point per request *)
+  let config () =
+    match Json.member "config" j with
+    | None | Some Metrics.Null -> Ok None
+    | Some v -> (
+      match Config.of_json v with
+      | Ok c -> Ok (Some c)
+      | Error msg -> err msg)
+  in
   match Json.member "op" j with
   | None -> err "missing \"op\""
   | Some (Metrics.String op) -> (
@@ -333,7 +346,8 @@ let parse_request (j : Metrics.json) : (request, string * Metrics.json) result
         | None | Some Metrics.Null -> Ok None
         | Some v -> Result.map Option.some (int_list "args" v)
       in
-      Ok (Compile { id; source; entry; backend; args })
+      let* config = config () in
+      Ok (Compile { id; source; entry; backend; args; config })
     | "compare" ->
       let* source = str_field "source" in
       let* entry = str_field ~default:"main" "entry" in
@@ -365,7 +379,8 @@ let parse_request (j : Metrics.json) : (request, string * Metrics.json) result
           Result.map (fun v -> [ v ]) (int_list "args" flat)
         | Some _ -> err "\"args\" must be a list of integer vectors"
       in
-      Ok (Compare { id; source; entry; backends; vectors })
+      let* config = config () in
+      Ok (Compare { id; source; entry; backends; vectors; config })
     | "check" ->
       let* source = str_field "source" in
       let* dialect = str_field ~default:"handelc" "dialect" in
@@ -383,6 +398,7 @@ let kind_of_error = function
   | Driver.Dialect_reject _ -> "dialect-reject"
   | Driver.Backend_error _ -> "backend-error"
   | Driver.Verification_error _ -> "verification-error"
+  | Driver.Constraint_infeasible _ -> "constraint-infeasible"
 
 let driver_error ~id e =
   error_response ~id ~kind:(kind_of_error e) (Driver.render_error e)
@@ -405,8 +421,8 @@ let session_for sessions source entry =
     Hashtbl.add sessions key s;
     s
 
-let run_design ?ctx (design : Design.t) args =
-  match Design.run_traced ?ctx design (Design.int_args args) with
+let run_design ?ctx ?sim (design : Design.t) args =
+  match Design.run_traced ?ctx ?sim design (Design.int_args args) with
   | r -> `Ok r
   | exception Rtlsim.Timeout { cycles; state = _ } -> `Timeout (Some cycles)
   | exception Asim.Timeout _ -> `Timeout None
@@ -414,7 +430,7 @@ let run_design ?ctx (design : Design.t) args =
   | exception C2v_machine.Timeout -> `Timeout None
   | exception Cir_interp.Timeout -> `Timeout None
 
-let handle_compile sessions ~ctx ~id ~source ~entry ~backend ~args =
+let handle_compile sessions ~ctx ~id ~source ~entry ~backend ~args ~config =
   match Registry.find backend with
   | None ->
     error_response ~id ~kind:"protocol"
@@ -424,7 +440,7 @@ let handle_compile sessions ~ctx ~id ~source ~entry ~backend ~args =
     let s = session_for sessions source entry in
     let front0 = session_counter s "driver.cache.design_hits"
     and store0 = session_counter s "driver.cache.design_store_hits" in
-    match Driver.compile ~ctx s b with
+    match Driver.compile ~ctx ?config s b with
     | Error e -> driver_error ~id e
     | Ok design -> (
       let cached =
@@ -438,11 +454,21 @@ let handle_compile sessions ~ctx ~id ~source ~entry ~backend ~args =
           ("ok", Metrics.Bool true);
           ("backend", Metrics.String (Registry.name b));
           ("cached", Metrics.String cached) ]
+        @
+        (* echo the config digest so sweep clients can correlate cache
+           provenance with their design points *)
+        match config with
+        | Some c -> [ ("config_digest", Metrics.String (Config.digest c)) ]
+        | None -> []
       in
       match args with
       | None -> Metrics.Obj (base @ [ ("status", Metrics.String "compiled") ])
       | Some args -> (
-        match run_design ~ctx design args with
+        match
+          run_design ~ctx
+            ?sim:(Option.map (fun c -> c.Config.sim) config)
+            design args
+        with
         | `Timeout cycles ->
           Metrics.Obj
             (base
@@ -479,7 +505,8 @@ let handle_compile sessions ~ctx ~id ~source ~entry ~backend ~args =
               [ ("matches_reference", Metrics.Bool (observed = Some v)) ]
             | `Failed msg -> [ ("reference_error", Metrics.String msg) ]))))
 
-let handle_compare sessions ~ctx ~id ~source ~entry ~backends ~vectors =
+let handle_compare sessions ~ctx ~id ~source ~entry ~backends ~vectors
+    ~config =
   let resolve names =
     let rec go acc = function
       | [] -> Ok (List.rev acc)
@@ -555,7 +582,7 @@ let handle_compare sessions ~ctx ~id ~source ~entry ~backends ~vectors =
                 @
                 if vectors = [] then []
                 else [ ("agrees", Metrics.Bool agrees) ]))
-          (Driver.compile_all ~ctx ~backends s)
+          (Driver.compile_all ~ctx ?config ~backends s)
       in
       Metrics.Obj
         [ ("id", id);
@@ -677,10 +704,11 @@ module Pool = struct
 
   let dispatch t sessions ~ctx req =
     match req with
-    | Compile { id; source; entry; backend; args } ->
-      handle_compile sessions ~ctx ~id ~source ~entry ~backend ~args
-    | Compare { id; source; entry; backends; vectors } ->
+    | Compile { id; source; entry; backend; args; config } ->
+      handle_compile sessions ~ctx ~id ~source ~entry ~backend ~args ~config
+    | Compare { id; source; entry; backends; vectors; config } ->
       handle_compare sessions ~ctx ~id ~source ~entry ~backends ~vectors
+        ~config
     | Check { id; source; dialect } ->
       handle_check sessions ~ctx ~id ~source ~dialect
     | Stats { id } ->

@@ -85,6 +85,11 @@ type request =
       entry : string;
       backend : string;
       args : int list option;
+      config : Config.t option;
+          (** per-request synthesis configuration (an optional ["config"]
+              JSON object, {!Config.of_json}); [None] = {!Config.default}.
+              Distinct configs are distinct cache entries, so a sweep can
+              push its whole grid through one daemon. *)
     }
   | Compare of {
       id : Metrics.json;
@@ -92,6 +97,7 @@ type request =
       entry : string;
       backends : string list option;  (** [None]: every registered *)
       vectors : int list list;
+      config : Config.t option;  (** as for [Compile] *)
     }
   | Check of { id : Metrics.json; source : string; dialect : string }
   | Stats of { id : Metrics.json }

@@ -195,6 +195,43 @@ let unroll_all_func (f : Ast.func) : Ast.func =
 let unroll_all_program (p : Ast.program) : Ast.program =
   { p with Ast.funcs = List.map unroll_all_func p.Ast.funcs }
 
+(** Partial unrolling by a fixed factor across a whole program — the
+    configurable knob form of the recoding above.  Every bounded for loop
+    whose trip count divides by [factor] is replicated [factor] times per
+    iteration (innermost first); loops that cannot unroll (non-static
+    bounds, break/continue, indivisible trip counts) are left in place,
+    so the transform is total and semantics-preserving. *)
+let rec unroll_factor_stmt ~factor (st : Ast.stmt) : Ast.stmt =
+  let walk = unroll_factor_stmt ~factor in
+  let desc =
+    match st.Ast.s with
+    | Ast.For (init, cond, step, body) -> (
+      let body = List.map walk body in
+      match partially_unroll_for ~factor ~init ~cond ~step ~body with
+      | unrolled -> unrolled.Ast.s
+      | exception Not_unrollable _ -> Ast.For (init, cond, step, body))
+    | Ast.If (c, t, f) -> Ast.If (c, List.map walk t, List.map walk f)
+    | Ast.While (c, b) -> Ast.While (c, List.map walk b)
+    | Ast.Do_while (b, c) -> Ast.Do_while (List.map walk b, c)
+    | Ast.Block b -> Ast.Block (List.map walk b)
+    | Ast.Par branches -> Ast.Par (List.map (List.map walk) branches)
+    | Ast.Constrain (lo, hi, b) -> Ast.Constrain (lo, hi, List.map walk b)
+    | Ast.Expr _ | Ast.Decl _ | Ast.Return _ | Ast.Break | Ast.Continue
+    | Ast.Chan_send _ | Ast.Delay -> st.Ast.s
+  in
+  { st with Ast.s = desc }
+
+let unroll_factor_program ~factor (p : Ast.program) : Ast.program =
+  if factor < 2 then p
+  else
+    { p with
+      Ast.funcs =
+        List.map
+          (fun f ->
+            { f with
+              Ast.f_body = List.map (unroll_factor_stmt ~factor) f.Ast.f_body })
+          p.Ast.funcs }
+
 (* --- assignment fusion (Handel-C recoding) --- *)
 
 let count_uses var stmts =

@@ -30,6 +30,14 @@ val unroll_all_program : Ast.program -> Ast.program
 (** Fully unroll every bounded for loop, innermost first; loops that
     cannot unroll are left in place. *)
 
+val unroll_factor_program : factor:int -> Ast.program -> Ast.program
+(** Partially unroll every bounded for loop by [factor] (innermost
+    first).  Loops that cannot unroll — non-static bounds,
+    break/continue, trip count not divisible by [factor] — are left in
+    place, so the transform never fails; [factor < 2] is the identity.
+    This is the unroll knob {!Passes.unroll_factor_pass} and the explore
+    grid expose. *)
+
 val fuse_block : Ast.block -> Ast.block
 
 val fuse_program : Ast.program -> Ast.program

@@ -51,6 +51,11 @@ let simplify_pass =
 let unroll_loops_pass = program_pass "unroll-loops" Loopopt.unroll_all_program
 let fuse_temps_pass = program_pass "fuse-temps" Loopopt.fuse_program
 
+let unroll_factor_pass factor =
+  program_pass
+    (Printf.sprintf "unroll-x%d" factor)
+    (Loopopt.unroll_factor_program ~factor)
+
 type pipeline = {
   pl_name : string;
   pl_program_passes : program_pass list;
@@ -80,15 +85,21 @@ type options = {
 
 let default_options = { verify = []; dump_after = []; dump_sink = print_string }
 
-let options = ref default_options
+(* Compatibility shim.  Options travel with each compile's configuration
+   ([?options] on {!run} and friends, carried by [Config.t] above this
+   library); this atomic only supplies the default for direct callers
+   that predate the config value.  Nothing in the driver path writes it,
+   so concurrent compiles under the serve Domain pool cannot bleed
+   options into each other. *)
+let options = Atomic.make default_options
 
-let set_options o = options := o
-let current_options () = !options
+let set_options o = Atomic.set options o
+let current_options () = Atomic.get options
 
 let with_options o f =
-  let saved = !options in
-  options := o;
-  Fun.protect ~finally:(fun () -> options := saved) f
+  let saved = Atomic.get options in
+  Atomic.set options o;
+  Fun.protect ~finally:(fun () -> Atomic.set options saved) f
 
 (* --- sizes and rendering ---------------------------------------------- *)
 
@@ -274,8 +285,8 @@ let maybe_dump opts ~pass_name render =
 (* [epoch] anchors every record's start_ms to the pipeline run's begin,
    so the whole trace shares one timeline (in CPU-time milliseconds, the
    same clock wall_ms already uses). *)
-let run_program_passes_from epoch pl program ~entry =
-  let opts = !options in
+let run_program_passes_from ?options:opts epoch pl program ~entry =
+  let opts = match opts with Some o -> o | None -> current_options () in
   let program, rev_trace =
     List.fold_left
       (fun (program, acc) pass ->
@@ -299,13 +310,15 @@ let run_program_passes_from epoch pl program ~entry =
   in
   (program, List.rev rev_trace)
 
-let run_program_passes pl program ~entry =
-  run_program_passes_from (Sys.time ()) pl program ~entry
+let run_program_passes ?options pl program ~entry =
+  run_program_passes_from ?options (Sys.time ()) pl program ~entry
 
-let run pl program ~entry =
-  let opts = !options in
+let run ?options:opts pl program ~entry =
+  let opts = match opts with Some o -> o | None -> current_options () in
   let epoch = Sys.time () in
-  let program, source_trace = run_program_passes_from epoch pl program ~entry in
+  let program, source_trace =
+    run_program_passes_from ~options:opts epoch pl program ~entry
+  in
   let src_size = size_of_program program in
   let lower_start = (Sys.time () -. epoch) *. 1000. in
   let lowered, wall_ms = timed (fun () -> Lower.lower_program program ~entry) in
@@ -340,4 +353,5 @@ let run pl program ~entry =
 
 let default_pipeline = pipeline "default" ~func_passes:[ simplify_pass ]
 
-let lower_simplify program ~entry = run default_pipeline program ~entry
+let lower_simplify ?options program ~entry =
+  run ?options default_pipeline program ~entry

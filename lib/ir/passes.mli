@@ -75,6 +75,11 @@ val unroll_loops_pass : program_pass
 val fuse_temps_pass : program_pass
 (** {!Loopopt.fuse_program} (Handel-C-style recoding). *)
 
+val unroll_factor_pass : int -> program_pass
+(** [unroll_factor_pass n] is {!Loopopt.unroll_factor_program}[ ~factor:n]
+    under the name ["unroll-x<n>"] — the configurable-unroll knob a
+    [Config.t] turns into a pipeline stage.  Factor 1 is the identity. *)
+
 type pipeline = {
   pl_name : string;
   pl_program_passes : program_pass list;
@@ -95,9 +100,12 @@ val describe : pipeline -> string
 
 (** {1 Options}
 
-    Process-wide knobs the CLI and tests set before compiling; backends
-    pick them up inside {!run} without every compile signature having to
-    thread them through. *)
+    Per-compile knobs.  Every run entry point takes [?options]; callers
+    above this library carry them in a [Config.t] and pass them down
+    explicitly.  The process-wide setter below is only a compatibility
+    shim supplying the default for direct callers that predate the
+    config value — nothing on the driver path writes it, so concurrent
+    compiles on separate domains cannot bleed options into each other. *)
 
 type options = {
   verify : int list list;
@@ -108,11 +116,19 @@ type options = {
 }
 
 val default_options : options
+
 val set_options : options -> unit
+(** Compatibility shim: replace the process-wide default that applies
+    when [?options] is omitted.  New code should pass [?options] (or a
+    driver config) instead. *)
+
 val current_options : unit -> options
+(** The process-wide default (an [Atomic.t] under the hood). *)
 
 val with_options : options -> (unit -> 'a) -> 'a
-(** Run with temporary options, restoring the previous ones on exit. *)
+(** Run with a temporary process-wide default, restoring the previous
+    one on exit.  Kept for tests of the shim itself; per-compile code
+    should pass [?options]. *)
 
 (** {1 Running} *)
 
@@ -120,20 +136,25 @@ exception Verification_failed of string
 (** A semantics-preserving pass changed observable behaviour (return
     value, a scalar global, or a memory) on a verification vector. *)
 
-val run : pipeline -> Ast.program -> entry:string -> Lower.result * trace
+val run :
+  ?options:options -> pipeline -> Ast.program -> entry:string ->
+  Lower.result * trace
 (** Apply the program passes, lower the entry function, then apply the
     CIR passes; the returned {!Lower.result} carries the final function.
+    [options] defaults to {!current_options}[ ()].
     @raise Lower.Error as {!Lower.lower_program} does — the payload
     carries the offending AST location for [file:line:col] diagnostics.
     @raise Verification_failed under [options.verify] on divergence. *)
 
 val run_program_passes :
-  pipeline -> Ast.program -> entry:string -> Ast.program * trace
+  ?options:options -> pipeline -> Ast.program -> entry:string ->
+  Ast.program * trace
 (** The source-level prefix only — for backends that never lower
     (Cones' symbolic execution, C2Verilog's stack-machine compiler) and
     for paths that need the transformed AST itself.  [entry] names the
     function the source-level differential checks execute. *)
 
-val lower_simplify : Ast.program -> entry:string -> Lower.result * trace
+val lower_simplify :
+  ?options:options -> Ast.program -> entry:string -> Lower.result * trace
 (** The default [lower; simplify] pipeline shared by the CLI, benches and
     examples. *)

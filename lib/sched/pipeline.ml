@@ -238,7 +238,8 @@ let fallback_count () = Atomic.get fallbacks
     times satisfying dependences, wrapping resource use modulo II; raise II
     on failure. *)
 let modulo_schedule ?(resources = Schedule.default_allocation)
-    ?(latency = default_latency) (func : Cir.func) : result =
+    ?(latency = default_latency) ?(ii_limit = ii_search_limit)
+    (func : Cir.func) : result =
   let body = extract_loop func latency in
   let n = Array.length body.instrs in
   let rmii = rec_mii body in
@@ -331,7 +332,7 @@ let modulo_schedule ?(resources = Schedule.default_allocation)
     end
   in
   let rec search ii =
-    if ii > ii_search_limit then None
+    if ii > ii_limit then None
     else
       match try_ii ii with
       | Some final -> Some (ii, final)

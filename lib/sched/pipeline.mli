@@ -63,10 +63,11 @@ val fallback_count : unit -> int
     [sched.modulo.fallbacks] metric. *)
 
 val modulo_schedule :
-  ?resources:Schedule.resources -> ?latency:latency_model -> Cir.func ->
-  result
+  ?resources:Schedule.resources -> ?latency:latency_model -> ?ii_limit:int ->
+  Cir.func -> result
 (** Iterative modulo scheduling of the innermost loop, raising II from
     max(RecMII, ResMII) until a legal schedule exists.  When no legal II
-    <= 4096 exists the loop is left unpipelined ([fallback = true])
-    rather than aborting the compile.
+    <= [ii_limit] (default {!ii_search_limit}) exists the loop is left
+    unpipelined ([fallback = true]) rather than aborting the compile;
+    driver configs expose the limit as the modulo-scheduling knob.
     @raise Irregular as {!extract_loop}. *)

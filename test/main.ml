@@ -5,4 +5,5 @@ let () =
       Test_workloads.suite; Test_ifconv.suite; Test_c2v.suite; Test_facade.suite;
       Test_passes.suite; Test_random.suite; Test_simcomp.suite; Test_obs.suite;
       Test_conc.suite; Test_registry.suite; Test_driver.suite; Test_cache.suite;
-      Test_serve.suite; Test_span.suite; Test_fuzz.suite ]
+      Test_serve.suite; Test_span.suite; Test_fuzz.suite;
+      Test_config.suite; Test_explore.suite ]

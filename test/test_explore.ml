@@ -1,0 +1,306 @@
+(* The design-space sweep: grid parsing and enumeration order, Pareto
+   dominance on synthetic cells, and the end-to-end engine — every gcd
+   point oracle-verified with a non-empty front, constraint-infeasible
+   points typed as infeasible cells (never errors), and a warm re-sweep
+   answered per config digest by the design cache. *)
+
+let gcd_w = Workloads.gcd
+
+(* --- the grid ---------------------------------------------------------- *)
+
+let test_parse_grid () =
+  (match Explore.parse_grid "adders=1,2,*;chain=5.5,40;unroll=1,4" with
+  | Error msg -> Alcotest.fail msg
+  | Ok g ->
+    Alcotest.(check bool) "adders parsed" true
+      (g.Explore.adders = [ Some 1; Some 2; None ]);
+    Alcotest.(check bool) "chains parsed" true
+      (g.Explore.chains = [ 5.5; 40. ]);
+    Alcotest.(check bool) "unrolls parsed" true
+      (g.Explore.unrolls = [ 1; 4 ]));
+  (match Explore.parse_grid "unroll=2" with
+  | Error msg -> Alcotest.fail msg
+  | Ok g ->
+    Alcotest.(check bool) "unset axes keep the default" true
+      (g.Explore.adders = Explore.default_grid.Explore.adders
+      && g.Explore.chains = Explore.default_grid.Explore.chains);
+    Alcotest.(check bool) "set axis overrides" true
+      (g.Explore.unrolls = [ 2 ]));
+  List.iter
+    (fun (what, spec) ->
+      match Explore.parse_grid spec with
+      | Ok _ -> Alcotest.fail (what ^ ": should be rejected")
+      | Error _ -> ())
+    [ ("unknown axis", "multithreading=9");
+      ("bad bound", "adders=0");
+      ("bad chain", "chain=-4");
+      ("missing =", "adders");
+      ("empty values", "unroll=") ]
+
+let test_enumeration_order_and_size () =
+  let grid =
+    { Explore.adders = [ Some 1; Some 2 ];
+      chains = [ 10.; 20. ];
+      unrolls = [ 1; 2 ] }
+  in
+  let backends = [ Registry.get "bachc"; Registry.get "handelc" ] in
+  let pts = Explore.points grid backends in
+  Alcotest.(check int) "size = product of axes"
+    (Explore.grid_size grid ~backends:2)
+    (List.length pts);
+  Alcotest.(check int) "16 points" 16 (List.length pts);
+  (* backend-major, then adders, chains, unrolls *)
+  let first, c0 = List.hd pts in
+  Alcotest.(check string) "first point is the first backend" "bachc"
+    (Registry.name first);
+  Alcotest.(check bool) "first point is the smallest knobs" true
+    (c0.Config.resources.Schedule.adders = Some 1
+    && c0.Config.resources.Schedule.chain_budget = 10.
+    && c0.Config.unroll_factor = 1);
+  let second = snd (List.nth pts 1) in
+  Alcotest.(check int) "unroll varies fastest" 2
+    second.Config.unroll_factor;
+  (* every point is a distinct cache key *)
+  let digests =
+    List.sort_uniq compare
+      (List.map
+         (fun (b, c) -> Registry.name b ^ "|" ^ Config.digest c)
+         pts)
+  in
+  Alcotest.(check int) "all points distinct" 16 (List.length digests)
+
+(* --- Pareto dominance on synthetic cells ------------------------------- *)
+
+let cell ?(verified = true) ?(status = `Measured) ~area ~cycles ~period ()
+    : Explore.cell =
+  let m =
+    { Explore.m_area = area;
+      m_registers = Some 1;
+      m_cycles = cycles;
+      m_period = period;
+      m_latency = None;
+      m_verified = verified }
+  in
+  { Explore.cell_backend = "synthetic";
+    cell_config = Config.default;
+    cell_digest = "d";
+    cell_status =
+      (match status with
+      | `Measured -> Explore.Measured m
+      | `Infeasible -> Explore.Infeasible "synthetic"
+      | `Failed -> Explore.Failed "synthetic");
+    cell_wall_ms = 0. }
+
+let mk ~area ~cycles ~period =
+  cell ~area:(Some area) ~cycles:(Some cycles) ~period:(Some period) ()
+
+let test_pareto_front () =
+  (* 0 dominates 1; 0 and 2 trade area against cycles; 3 trades period *)
+  let cells =
+    [ mk ~area:100. ~cycles:10 ~period:5.;
+      mk ~area:120. ~cycles:11 ~period:5.;
+      mk ~area:80. ~cycles:20 ~period:5.;
+      mk ~area:300. ~cycles:30 ~period:1. ]
+  in
+  Alcotest.(check (list int)) "front keeps the trade-offs" [ 0; 2; 3 ]
+    (Explore.pareto_front cells);
+  (* equal-axis duplicates collapse to the lowest index *)
+  let dup = [ mk ~area:1. ~cycles:1 ~period:1.; mk ~area:1. ~cycles:1 ~period:1. ] in
+  Alcotest.(check (list int)) "duplicates collapse" [ 0 ]
+    (Explore.pareto_front dup);
+  (* unverified, non-measured and partially-measured cells never enter *)
+  let ineligible =
+    [ cell ~verified:false ~area:(Some 1.) ~cycles:(Some 1)
+        ~period:(Some 1.) ();
+      cell ~status:`Infeasible ~area:None ~cycles:None ~period:None ();
+      cell ~status:`Failed ~area:None ~cycles:None ~period:None ();
+      cell ~area:(Some 1.) ~cycles:(Some 1) ~period:None ();
+      mk ~area:500. ~cycles:500 ~period:500. ]
+  in
+  Alcotest.(check (list int)) "only the full, verified cell" [ 4 ]
+    (Explore.pareto_front ineligible)
+
+let test_dominates () =
+  let m ~area ~cycles ~period =
+    match mk ~area ~cycles ~period with
+    | { Explore.cell_status = Explore.Measured m; _ } -> m
+    | _ -> assert false
+  in
+  let a = m ~area:1. ~cycles:1 ~period:1. in
+  let b = m ~area:2. ~cycles:1 ~period:1. in
+  Alcotest.(check bool) "strictly better on one axis" true
+    (Explore.dominates a b);
+  Alcotest.(check bool) "not the other way" false (Explore.dominates b a);
+  Alcotest.(check bool) "equal points never dominate" false
+    (Explore.dominates a a)
+
+(* --- end to end -------------------------------------------------------- *)
+
+let sweep_gcd ?domains () =
+  Explore.run ?domains ~source:gcd_w.Workloads.source
+    ~entry:gcd_w.Workloads.entry
+    ~args:(List.hd gcd_w.Workloads.arg_sets)
+    Explore.default_grid
+    [ Registry.get "bachc"; Registry.get "hardwarec" ]
+
+let test_gcd_sweep_verified () =
+  Driver.clear_cache ();
+  let sweep = sweep_gcd () in
+  Alcotest.(check int) "16 points" 16
+    (List.length sweep.Explore.sw_cells);
+  Alcotest.(check int) "every point oracle-verified" 16
+    (Explore.verified_count sweep);
+  Alcotest.(check bool) "front is non-empty" true
+    (sweep.Explore.sw_pareto <> []);
+  (* front members really are undominated measured cells *)
+  List.iter
+    (fun i ->
+      match (List.nth sweep.Explore.sw_cells i).Explore.cell_status with
+      | Explore.Measured m ->
+        Alcotest.(check bool) "front member verified" true
+          m.Explore.m_verified
+      | _ -> Alcotest.fail "front member is not a measured cell")
+    sweep.Explore.sw_pareto;
+  (* the chain-budget axis is live: some points differ in cycle count *)
+  let cycles =
+    List.filter_map
+      (fun (c : Explore.cell) ->
+        match c.Explore.cell_status with
+        | Explore.Measured m -> m.Explore.m_cycles
+        | _ -> None)
+      sweep.Explore.sw_cells
+  in
+  Alcotest.(check bool) "knobs move the measurements" true
+    (List.length (List.sort_uniq compare cycles) > 1)
+
+let test_warm_sweep_hits_per_digest () =
+  Driver.clear_cache ();
+  let _cold = sweep_gcd () in
+  let hits_before =
+    match
+      List.assoc_opt "driver.cache.front_hits" (Driver.cache_metrics ())
+    with
+    | Some n -> n
+    | None -> 0
+  in
+  let warm = sweep_gcd ~domains:2 () in
+  let hits_after =
+    match
+      List.assoc_opt "driver.cache.front_hits" (Driver.cache_metrics ())
+    with
+    | Some n -> n
+    | None -> 0
+  in
+  Alcotest.(check int) "one hit per distinct config point" 16
+    (hits_after - hits_before);
+  Alcotest.(check int) "warm sweep still verifies" 16
+    (Explore.verified_count warm)
+
+(* A constrain block no allocation can satisfy (two dependent memory
+   reads inside constrain(1,1)): hardwarec must report it as a typed
+   infeasible cell, and a backend whose dialect bans constrain rejects
+   the program — neither is a failure. *)
+let infeasible_source =
+  "int f(int i) {\n\
+  \  int tab[4];\n\
+  \  tab[0] = i; tab[1] = i + 1; tab[2] = i + 2; tab[3] = 3;\n\
+  \  int r = 0;\n\
+  \  constrain(1, 1) {\n\
+  \    int a = tab[i & 3];\n\
+  \    int b = tab[a & 3];\n\
+  \    r = a + b;\n\
+  \  }\n\
+  \  return r;\n\
+   }\n"
+
+let test_infeasible_points_are_typed () =
+  Driver.clear_cache ();
+  let grid =
+    { Explore.adders = [ Some 1 ]; chains = [ 10. ]; unrolls = [ 1 ] }
+  in
+  let sweep =
+    Explore.run ~source:infeasible_source ~entry:"f" ~args:[ 1 ]
+      grid
+      [ Registry.get "hardwarec"; Registry.get "bachc" ]
+  in
+  (* the capability predicts which backend can report infeasibility *)
+  Alcotest.(check bool) "hardwarec advertises constraint reports" true
+    (Registry.capabilities (Registry.get "hardwarec"))
+      .Backend.constraint_reports;
+  let status i =
+    Explore.status_name
+      (List.nth sweep.Explore.sw_cells i).Explore.cell_status
+  in
+  Alcotest.(check string) "hardwarec cell is infeasible" "infeasible"
+    (status 0);
+  Alcotest.(check string) "bachc rejects constrain by dialect" "rejected"
+    (status 1);
+  Alcotest.(check int) "nothing failed" 0
+    (List.length
+       (List.filter
+          (fun (c : Explore.cell) ->
+            match c.Explore.cell_status with
+            | Explore.Failed _ -> true
+            | _ -> false)
+          sweep.Explore.sw_cells));
+  Alcotest.(check (list int)) "no front from infeasible points" []
+    sweep.Explore.sw_pareto
+
+(* the typed driver error behind those cells *)
+let test_driver_constraint_infeasible () =
+  Driver.clear_cache ();
+  let s = Driver.create ~entry:"f" infeasible_source in
+  match Driver.compile s (Registry.get "hardwarec") with
+  | Error (Driver.Constraint_infeasible { backend; message }) ->
+    Alcotest.(check string) "backend named" "hardwarec" backend;
+    Alcotest.(check bool) "message names the block" true
+      (String.length message > 0)
+  | Ok _ -> Alcotest.fail "unsatisfiable program compiled"
+  | Error e ->
+    Alcotest.fail
+      ("wrong error class: " ^ Driver.render_error e)
+
+let test_metrics_report () =
+  Driver.clear_cache ();
+  let sweep = sweep_gcd () in
+  let m = Explore.metrics sweep in
+  let get k = Metrics.find m k in
+  Alcotest.(check bool) "schema" true
+    (get "schema" = Some (Metrics.String "chls.explore/1"));
+  Alcotest.(check bool) "point count" true
+    (get "explore.points" = Some (Metrics.Int 16));
+  Alcotest.(check bool) "verified count" true
+    (get "explore.verified" = Some (Metrics.Int 16));
+  Alcotest.(check bool) "per-cell backend present" true
+    (get "explore.cell.0.backend" = Some (Metrics.String "bachc"));
+  Alcotest.(check bool) "per-cell digest present" true
+    (match get "explore.cell.0.config" with
+    | Some (Metrics.String d) -> String.length d = 32
+    | _ -> false);
+  Alcotest.(check bool) "cache counters folded in" true
+    (get "driver.cache.front_entries" <> None);
+  (* the text table covers every cell plus the header *)
+  let header, rows = Explore.table sweep in
+  Alcotest.(check int) "a row per cell" 16 (List.length rows);
+  List.iter
+    (fun row ->
+      Alcotest.(check int) "row width matches header"
+        (List.length header) (List.length row))
+    rows
+
+let suite =
+  ( "explore",
+    [ Alcotest.test_case "grid parsing" `Quick test_parse_grid;
+      Alcotest.test_case "enumeration order and size" `Quick
+        test_enumeration_order_and_size;
+      Alcotest.test_case "pareto front" `Quick test_pareto_front;
+      Alcotest.test_case "dominance" `Quick test_dominates;
+      Alcotest.test_case "gcd sweep fully verified" `Quick
+        test_gcd_sweep_verified;
+      Alcotest.test_case "warm sweep hits per digest" `Quick
+        test_warm_sweep_hits_per_digest;
+      Alcotest.test_case "infeasible points are typed" `Quick
+        test_infeasible_points_are_typed;
+      Alcotest.test_case "driver constraint-infeasible error" `Quick
+        test_driver_constraint_infeasible;
+      Alcotest.test_case "metrics report" `Quick test_metrics_report ] )

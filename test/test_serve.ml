@@ -193,7 +193,8 @@ let test_handle_compile_verifies_against_oracle () =
                source = gcd_w.Workloads.source;
                entry = gcd_w.Workloads.entry;
                backend = "bachc";
-               args = Some [ 12; 18 ] })
+               args = Some [ 12; 18 ];
+               config = None })
       in
       Alcotest.(check bool) "ok" true (bool_member "ok" resp);
       Alcotest.check json "result" (Metrics.Int 6) (member "result" resp);
@@ -215,7 +216,7 @@ let test_handle_typed_errors () =
         handle pool
           (Serve.Compile
              { id = Metrics.Null; source; entry = "main"; backend;
-               args = None })
+               args = None; config = None })
       in
       Alcotest.(check string) "unknown backend" "protocol"
         (kind (compile "no-such-backend"));
@@ -235,7 +236,7 @@ let test_handle_compare_rows_in_registry_order () =
                source = gcd_w.Workloads.source;
                entry = gcd_w.Workloads.entry;
                backends = None;
-               vectors = [ [ 12; 18 ] ] })
+               vectors = [ [ 12; 18 ] ]; config = None })
       in
       Alcotest.(check bool) "ok" true (bool_member "ok" resp);
       Alcotest.(check bool) "no mismatch" false (bool_member "mismatch" resp);
@@ -276,7 +277,7 @@ let test_pool_processes_concurrent_batch () =
                source = gcd_w.Workloads.source;
                entry = gcd_w.Workloads.entry;
                backend = (if i mod 2 = 0 then "bachc" else "handelc");
-               args = Some [ 27; 9 ] })
+               args = Some [ 27; 9 ]; config = None })
           ~respond:(fun resp ->
             Mutex.lock lock;
             responses := resp :: !responses;

@@ -211,7 +211,8 @@ let test_serve_request_trace_tree () =
              source = gcd_w.Workloads.source;
              entry = gcd_w.Workloads.entry;
              backend = "bachc";
-             args = Some [ 54; 24 ] })
+             args = Some [ 54; 24 ];
+             config = None })
         ~respond:(fun r -> resp := Some r);
       Serve.Pool.drain pool;
       let resp = Option.get !resp in
@@ -257,7 +258,7 @@ let test_serve_failure_carries_flight_dump () =
              source = gcd_w.Workloads.source;
              entry = gcd_w.Workloads.entry;
              backend = "cones" (* unbounded loop: dialect-reject *);
-             args = None })
+             args = None; config = None })
         ~respond:(fun r -> resp := Some r);
       Serve.Pool.drain pool;
       let resp = Option.get !resp in
